@@ -1,0 +1,126 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <map>
+#include <tuple>
+
+#include "common/check.h"
+#include "core/coknn.h"
+#include "rtree/str_bulk_load.h"
+
+namespace conn {
+namespace bench {
+
+double BenchScale() {
+  static const double scale = [] {
+    const char* env = std::getenv("CONN_BENCH_SCALE");
+    double s = env ? std::atof(env) : 0.05;
+    if (s <= 0.0 || s > 1.0) s = 0.05;
+    return s;
+  }();
+  return scale;
+}
+
+size_t BenchQueries() {
+  static const size_t queries = [] {
+    const char* env = std::getenv("CONN_BENCH_QUERIES");
+    long q = env ? std::atol(env) : 3;
+    if (q < 1) q = 3;
+    return static_cast<size_t>(q);
+  }();
+  return queries;
+}
+
+size_t ScaledLa() {
+  return static_cast<size_t>(datagen::kLaCardinality * BenchScale());
+}
+
+size_t ScaledCa() {
+  return static_cast<size_t>(datagen::kCaCardinality * BenchScale());
+}
+
+const Dataset& GetDataset(datagen::PointDistribution dist, size_t num_points,
+                          size_t num_obstacles) {
+  using Key = std::tuple<int, size_t, size_t>;
+  static std::map<Key, std::unique_ptr<Dataset>>* cache =
+      new std::map<Key, std::unique_ptr<Dataset>>();
+  const Key key{static_cast<int>(dist), num_points, num_obstacles};
+  auto it = cache->find(key);
+  if (it != cache->end()) return *it->second;
+
+  auto ds = std::make_unique<Dataset>();
+  ds->pair = datagen::MakeDatasetPair(dist, num_points, num_obstacles,
+                                      /*seed=*/0xC0DE + num_points * 31 +
+                                          num_obstacles * 7);
+  ds->tp = std::make_unique<rtree::RStarTree>(std::move(
+      rtree::StrBulkLoad(datagen::ToPointObjects(ds->pair.points)).value()));
+  ds->to = std::make_unique<rtree::RStarTree>(
+      std::move(rtree::StrBulkLoad(datagen::ToObstacleObjects(ds->pair.obstacles))
+                    .value()));
+  std::vector<rtree::DataObject> all =
+      datagen::ToPointObjects(ds->pair.points);
+  for (const rtree::DataObject& o :
+       datagen::ToObstacleObjects(ds->pair.obstacles)) {
+    all.push_back(o);
+  }
+  ds->unified = std::make_unique<rtree::RStarTree>(
+      std::move(rtree::StrBulkLoad(std::move(all)).value()));
+
+  auto [pos, inserted] = cache->emplace(key, std::move(ds));
+  CONN_CHECK(inserted);
+  return *pos->second;
+}
+
+QueryStats RunCoknnWorkload(const Dataset& ds, const RunConfig& cfg) {
+  const size_t queries = cfg.queries == 0 ? BenchQueries() : cfg.queries;
+
+  // Configure buffers ("% of the tree size", Figure 12).
+  auto set_buffer = [&](rtree::RStarTree& tree) {
+    const size_t pages = static_cast<size_t>(
+        tree.PageCount() * cfg.buffer_percent / 100.0);
+    tree.pager().SetBufferCapacity(pages);
+    tree.pager().ClearBuffer();
+  };
+  set_buffer(*ds.tp);
+  set_buffer(*ds.to);
+  set_buffer(*ds.unified);
+
+  datagen::WorkloadOptions wopts;
+  wopts.query_length = datagen::QueryLengthFromPercent(cfg.ql_percent);
+  const std::vector<geom::Segment> warmup = datagen::MakeWorkload(
+      cfg.warmup_queries, datagen::Workspace(), wopts, {}, cfg.seed * 13 + 5);
+  const std::vector<geom::Segment> workload = datagen::MakeWorkload(
+      queries, datagen::Workspace(), wopts, {}, cfg.seed);
+
+  for (const geom::Segment& q : warmup) {
+    if (cfg.one_tree) {
+      core::CoknnQuery1T(*ds.unified, q, cfg.k, cfg.options);
+    } else {
+      core::CoknnQuery(*ds.tp, *ds.to, q, cfg.k, cfg.options);
+    }
+  }
+
+  QueryStats total;
+  for (const geom::Segment& q : workload) {
+    const core::CoknnResult r =
+        cfg.one_tree ? core::CoknnQuery1T(*ds.unified, q, cfg.k, cfg.options)
+                     : core::CoknnQuery(*ds.tp, *ds.to, q, cfg.k, cfg.options);
+    total += r.stats;
+  }
+  return total.AveragedOver(queries);
+}
+
+void ReportStats(benchmark::State& state, const QueryStats& avg,
+                 size_t num_obstacles) {
+  state.counters["qcost_s"] = avg.QueryCostSeconds();
+  state.counters["io_s"] = avg.IoSeconds();
+  state.counters["cpu_s"] = avg.cpu_seconds;
+  state.counters["pages"] = static_cast<double>(avg.TotalPageReads());
+  state.counters["NPE"] = static_cast<double>(avg.points_evaluated);
+  state.counters["NOE"] = static_cast<double>(avg.obstacles_evaluated);
+  state.counters["SVG"] = static_cast<double>(avg.vis_graph_vertices);
+  state.counters["FULL"] = static_cast<double>(4 * num_obstacles);
+}
+
+}  // namespace bench
+}  // namespace conn

@@ -1,0 +1,49 @@
+// Figure 9 — "Performance vs. ql (% of data space side)".
+//
+// Paper setup: CL combination (P = CA points, O = LA street MBRs), k = 5,
+// ql in {1.5, 3, 4.5, 6, 7.5}% of the space side.
+//   Fig. 9(a): total query time split into I/O and CPU, plus the number of
+//              points (NPE) and obstacles (NOE) evaluated — all grow with ql.
+//   Fig. 9(b): local visibility graph size |SVG| vs FULL = 4|O| — |SVG|
+//              grows with ql but stays orders of magnitude below FULL.
+//
+// Expected shape: every reported counter increases monotonically with ql;
+// SVG << FULL at every setting.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace conn {
+namespace bench {
+namespace {
+
+void BM_Fig09_QueryLength(benchmark::State& state) {
+  const double ql = static_cast<double>(state.range(0)) / 10.0;
+  const Dataset& ds = GetDataset(datagen::PointDistribution::kClustered,
+                                 ScaledCa(), ScaledLa());
+  QueryStats avg;
+  for (auto _ : state) {
+    RunConfig cfg;
+    cfg.ql_percent = ql;
+    cfg.k = 5;
+    avg = RunCoknnWorkload(ds, cfg);
+  }
+  ReportStats(state, avg, ds.pair.obstacles.size());
+  state.SetLabel("CL, k=5, ql=" + std::to_string(ql) + "%");
+}
+
+BENCHMARK(BM_Fig09_QueryLength)
+    ->Arg(15)   // ql = 1.5%
+    ->Arg(30)   // ql = 3.0%
+    ->Arg(45)   // ql = 4.5%
+    ->Arg(60)   // ql = 6.0%
+    ->Arg(75)   // ql = 7.5%
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace conn
+
+BENCHMARK_MAIN();

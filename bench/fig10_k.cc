@@ -1,0 +1,47 @@
+// Figure 10 — "Performance vs. k".
+//
+// Paper setup: CL combination, ql = 4.5%, k in {1, 3, 5, 7, 9}.
+//   Fig. 10(a): total time / NPE / NOE grow with k (larger search range,
+//               more result-list maintenance).
+//   Fig. 10(b): |SVG| grows mildly with k and stays far below FULL = 4|O|
+//               (paper: 1545 -> 1740 vertices over k = 1..9).
+//
+// Expected shape: monotone growth in all counters, gentle for |SVG|.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace conn {
+namespace bench {
+namespace {
+
+void BM_Fig10_K(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const Dataset& ds = GetDataset(datagen::PointDistribution::kClustered,
+                                 ScaledCa(), ScaledLa());
+  QueryStats avg;
+  for (auto _ : state) {
+    RunConfig cfg;
+    cfg.ql_percent = 4.5;
+    cfg.k = k;
+    avg = RunCoknnWorkload(ds, cfg);
+  }
+  ReportStats(state, avg, ds.pair.obstacles.size());
+  state.SetLabel("CL, ql=4.5%, k=" + std::to_string(k));
+}
+
+BENCHMARK(BM_Fig10_K)
+    ->Arg(1)
+    ->Arg(3)
+    ->Arg(5)
+    ->Arg(7)
+    ->Arg(9)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace conn
+
+BENCHMARK_MAIN();

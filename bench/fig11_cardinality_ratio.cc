@@ -1,0 +1,62 @@
+// Figure 11 — "Performance vs. |P|/|O|".
+//
+// Paper setup: UL (Uniform points + LA obstacles) and ZL (Zipf points + LA
+// obstacles), k = 5, ql = 4.5%, |P|/|O| in {0.1, 0.2, 0.5, 1, 2, 5, 10}.
+//
+// Expected shape (the paper's crucial observation): query cost first DROPS
+// as the ratio grows (denser P shrinks the search range, so IOR retrieves
+// fewer obstacles — NOE and |SVG| fall), then RISES again (each point
+// dominates a shorter interval, so more candidates are evaluated — NPE
+// grows).  The minimum sits near |P|/|O| = 0.5.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace conn {
+namespace bench {
+namespace {
+
+void RunRatio(benchmark::State& state, datagen::PointDistribution dist,
+              const char* name) {
+  const double ratio = static_cast<double>(state.range(0)) / 10.0;
+  const size_t num_obstacles = ScaledLa();
+  const size_t num_points =
+      std::max<size_t>(10, static_cast<size_t>(num_obstacles * ratio));
+  const Dataset& ds = GetDataset(dist, num_points, num_obstacles);
+  QueryStats avg;
+  for (auto _ : state) {
+    RunConfig cfg;
+    cfg.ql_percent = 4.5;
+    cfg.k = 5;
+    avg = RunCoknnWorkload(ds, cfg);
+  }
+  ReportStats(state, avg, ds.pair.obstacles.size());
+  state.SetLabel(std::string(name) + ", k=5, ql=4.5%, |P|/|O|=" +
+                 std::to_string(ratio));
+}
+
+void BM_Fig11_UL(benchmark::State& state) {
+  RunRatio(state, datagen::PointDistribution::kUniform, "UL");
+}
+
+void BM_Fig11_ZL(benchmark::State& state) {
+  RunRatio(state, datagen::PointDistribution::kZipf, "ZL");
+}
+
+// Args are ratio * 10: {0.1, 0.2, 0.5, 1, 2, 5, 10}.
+BENCHMARK(BM_Fig11_UL)
+    ->Arg(1)->Arg(2)->Arg(5)->Arg(10)->Arg(20)->Arg(50)->Arg(100)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Fig11_ZL)
+    ->Arg(1)->Arg(2)->Arg(5)->Arg(10)->Arg(20)->Arg(50)->Arg(100)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace conn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Figure 13 — "COkNN on two R-trees vs. its on one R-tree".
+//
+// Paper setup, six panels:
+//   (a) CL, k=5, ql sweep        (b) UL, k=5, ql sweep
+//   (c) CL, ql=4.5%, k sweep     (d) UL, ql=4.5%, k sweep
+//   (e) UL, k=5 ql=4.5%, ratio   (f) ZL, k=5 ql=4.5%, ratio sweep
+// each comparing the 2-tree configuration (separate Tp/To) with the
+// unified 1-tree configuration of Section 4.5.
+//
+// Expected shape: "1T is more efficient than 2T in most cases" — the
+// unified tree needs a single traversal, and points/obstacles that are
+// close in space share leaf pages, so total page faults (and hence query
+// cost) drop.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace conn {
+namespace bench {
+namespace {
+
+void RunOneVsTwo(benchmark::State& state, datagen::PointDistribution dist,
+                 size_t num_points, double ql, size_t k, bool one_tree,
+                 const char* label) {
+  const Dataset& ds = GetDataset(dist, num_points, ScaledLa());
+  QueryStats avg;
+  for (auto _ : state) {
+    RunConfig cfg;
+    cfg.ql_percent = ql;
+    cfg.k = k;
+    cfg.one_tree = one_tree;
+    avg = RunCoknnWorkload(ds, cfg);
+  }
+  ReportStats(state, avg, ds.pair.obstacles.size());
+  state.SetLabel(label + std::string(one_tree ? " [1T]" : " [2T]"));
+}
+
+// --- panels (a)/(b): ql sweep (arg = ql * 10) ---
+void BM_Fig13a_CL_QL_2T(benchmark::State& s) {
+  RunOneVsTwo(s, datagen::PointDistribution::kClustered, ScaledCa(),
+              s.range(0) / 10.0, 5, false, "CL ql sweep");
+}
+void BM_Fig13a_CL_QL_1T(benchmark::State& s) {
+  RunOneVsTwo(s, datagen::PointDistribution::kClustered, ScaledCa(),
+              s.range(0) / 10.0, 5, true, "CL ql sweep");
+}
+void BM_Fig13b_UL_QL_2T(benchmark::State& s) {
+  RunOneVsTwo(s, datagen::PointDistribution::kUniform, ScaledLa() / 2,
+              s.range(0) / 10.0, 5, false, "UL ql sweep");
+}
+void BM_Fig13b_UL_QL_1T(benchmark::State& s) {
+  RunOneVsTwo(s, datagen::PointDistribution::kUniform, ScaledLa() / 2,
+              s.range(0) / 10.0, 5, true, "UL ql sweep");
+}
+
+// --- panels (c)/(d): k sweep ---
+void BM_Fig13c_CL_K_2T(benchmark::State& s) {
+  RunOneVsTwo(s, datagen::PointDistribution::kClustered, ScaledCa(), 4.5,
+              s.range(0), false, "CL k sweep");
+}
+void BM_Fig13c_CL_K_1T(benchmark::State& s) {
+  RunOneVsTwo(s, datagen::PointDistribution::kClustered, ScaledCa(), 4.5,
+              s.range(0), true, "CL k sweep");
+}
+void BM_Fig13d_UL_K_2T(benchmark::State& s) {
+  RunOneVsTwo(s, datagen::PointDistribution::kUniform, ScaledLa() / 2, 4.5,
+              s.range(0), false, "UL k sweep");
+}
+void BM_Fig13d_UL_K_1T(benchmark::State& s) {
+  RunOneVsTwo(s, datagen::PointDistribution::kUniform, ScaledLa() / 2, 4.5,
+              s.range(0), true, "UL k sweep");
+}
+
+// --- panels (e)/(f): |P|/|O| sweep (arg = ratio * 10) ---
+void BM_Fig13e_UL_Ratio_2T(benchmark::State& s) {
+  const size_t np = std::max<size_t>(10, ScaledLa() * s.range(0) / 10);
+  RunOneVsTwo(s, datagen::PointDistribution::kUniform, np, 4.5, 5, false,
+              "UL ratio sweep");
+}
+void BM_Fig13e_UL_Ratio_1T(benchmark::State& s) {
+  const size_t np = std::max<size_t>(10, ScaledLa() * s.range(0) / 10);
+  RunOneVsTwo(s, datagen::PointDistribution::kUniform, np, 4.5, 5, true,
+              "UL ratio sweep");
+}
+void BM_Fig13f_ZL_Ratio_2T(benchmark::State& s) {
+  const size_t np = std::max<size_t>(10, ScaledLa() * s.range(0) / 10);
+  RunOneVsTwo(s, datagen::PointDistribution::kZipf, np, 4.5, 5, false,
+              "ZL ratio sweep");
+}
+void BM_Fig13f_ZL_Ratio_1T(benchmark::State& s) {
+  const size_t np = std::max<size_t>(10, ScaledLa() * s.range(0) / 10);
+  RunOneVsTwo(s, datagen::PointDistribution::kZipf, np, 4.5, 5, true,
+              "ZL ratio sweep");
+}
+
+#define QL_ARGS ->Arg(15)->Arg(30)->Arg(45)->Arg(60)->Arg(75)
+#define K_ARGS ->Arg(1)->Arg(3)->Arg(5)->Arg(7)->Arg(9)
+#define RATIO_ARGS ->Arg(1)->Arg(2)->Arg(5)->Arg(10)->Arg(20)->Arg(50)->Arg(100)
+#define ONE_ITER ->Iterations(1)->Unit(benchmark::kMillisecond)
+
+BENCHMARK(BM_Fig13a_CL_QL_2T) QL_ARGS ONE_ITER;
+BENCHMARK(BM_Fig13a_CL_QL_1T) QL_ARGS ONE_ITER;
+BENCHMARK(BM_Fig13b_UL_QL_2T) QL_ARGS ONE_ITER;
+BENCHMARK(BM_Fig13b_UL_QL_1T) QL_ARGS ONE_ITER;
+BENCHMARK(BM_Fig13c_CL_K_2T) K_ARGS ONE_ITER;
+BENCHMARK(BM_Fig13c_CL_K_1T) K_ARGS ONE_ITER;
+BENCHMARK(BM_Fig13d_UL_K_2T) K_ARGS ONE_ITER;
+BENCHMARK(BM_Fig13d_UL_K_1T) K_ARGS ONE_ITER;
+BENCHMARK(BM_Fig13e_UL_Ratio_2T) RATIO_ARGS ONE_ITER;
+BENCHMARK(BM_Fig13e_UL_Ratio_1T) RATIO_ARGS ONE_ITER;
+BENCHMARK(BM_Fig13f_ZL_Ratio_2T) RATIO_ARGS ONE_ITER;
+BENCHMARK(BM_Fig13f_ZL_Ratio_1T) RATIO_ARGS ONE_ITER;
+
+}  // namespace
+}  // namespace bench
+}  // namespace conn
+
+BENCHMARK_MAIN();

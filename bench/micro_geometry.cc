@@ -1,0 +1,142 @@
+// Micro-benchmarks of the geometry kernel: the split-point quadratic, curve
+// crossings, visible regions, interval algebra, and the blocking predicate.
+// These are the inner loops of CPLC/RLU; regressions here hit every query.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "geom/curve.h"
+#include "geom/interval_set.h"
+#include "geom/predicates.h"
+#include "geom/quadratic.h"
+#include "geom/split.h"
+#include "vis/obstacle_set.h"
+#include "vis/visible_region.h"
+
+namespace conn {
+namespace {
+
+void BM_SolveQuadratic(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<std::array<double, 3>> coeffs(1024);
+  for (auto& c : coeffs) {
+    c = {rng.Uniform(-10, 10), rng.Uniform(-100, 100), rng.Uniform(-100, 100)};
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    double roots[2];
+    const auto& c = coeffs[i++ & 1023];
+    benchmark::DoNotOptimize(geom::SolveQuadratic(c[0], c[1], c[2], roots));
+  }
+}
+BENCHMARK(BM_SolveQuadratic);
+
+void BM_CurveCrossings(benchmark::State& state) {
+  Rng rng(2);
+  const geom::SegmentFrame frame(geom::Segment({0, 0}, {1000, 0}));
+  std::vector<std::pair<geom::DistanceCurve, geom::DistanceCurve>> cases;
+  for (int i = 0; i < 1024; ++i) {
+    cases.emplace_back(
+        geom::DistanceCurve::FromControlPoint(
+            frame, {rng.Uniform(0, 1000), rng.Uniform(0, 300)},
+            rng.Uniform(0, 400)),
+        geom::DistanceCurve::FromControlPoint(
+            frame, {rng.Uniform(0, 1000), rng.Uniform(0, 300)},
+            rng.Uniform(0, 400)));
+  }
+  size_t i = 0;
+  const geom::Interval domain(0, 1000);
+  for (auto _ : state) {
+    const auto& [a, b] = cases[i++ & 1023];
+    benchmark::DoNotOptimize(geom::CurveCrossings(a, b, domain));
+  }
+}
+BENCHMARK(BM_CurveCrossings);
+
+void BM_CompareCurves(benchmark::State& state) {
+  Rng rng(3);
+  const geom::SegmentFrame frame(geom::Segment({0, 0}, {1000, 0}));
+  std::vector<std::pair<geom::DistanceCurve, geom::DistanceCurve>> cases;
+  for (int i = 0; i < 1024; ++i) {
+    cases.emplace_back(
+        geom::DistanceCurve::FromControlPoint(
+            frame, {rng.Uniform(0, 1000), rng.Uniform(0, 300)},
+            rng.Uniform(0, 400)),
+        geom::DistanceCurve::FromControlPoint(
+            frame, {rng.Uniform(0, 1000), rng.Uniform(0, 300)},
+            rng.Uniform(0, 400)));
+  }
+  size_t i = 0;
+  const geom::Interval domain(0, 1000);
+  for (auto _ : state) {
+    const auto& [a, b] = cases[i++ & 1023];
+    benchmark::DoNotOptimize(geom::CompareCurves(a, b, domain));
+  }
+}
+BENCHMARK(BM_CompareCurves);
+
+void BM_SegmentCrossesInterior(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<std::pair<geom::Segment, geom::Rect>> cases;
+  for (int i = 0; i < 1024; ++i) {
+    const geom::Vec2 lo{rng.Uniform(0, 900), rng.Uniform(0, 900)};
+    cases.emplace_back(
+        geom::Segment({rng.Uniform(0, 1000), rng.Uniform(0, 1000)},
+                      {rng.Uniform(0, 1000), rng.Uniform(0, 1000)}),
+        geom::Rect(lo, {lo.x + rng.Uniform(5, 100), lo.y + rng.Uniform(5, 100)}));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [s, r] = cases[i++ & 1023];
+    benchmark::DoNotOptimize(geom::SegmentCrossesInterior(s, r));
+  }
+}
+BENCHMARK(BM_SegmentCrossesInterior);
+
+void BM_VisibleRegion(benchmark::State& state) {
+  Rng rng(5);
+  vis::ObstacleSet set(geom::Rect({0, 0}, {1000, 1000}), 32);
+  for (uint32_t i = 0; i < static_cast<uint32_t>(state.range(0)); ++i) {
+    const geom::Vec2 lo{rng.Uniform(0, 950), rng.Uniform(0, 950)};
+    set.Add(geom::Rect(lo, {lo.x + rng.Uniform(5, 50), lo.y + rng.Uniform(5, 50)}),
+            i);
+  }
+  const geom::SegmentFrame frame(geom::Segment({100, 100}, {900, 500}));
+  std::vector<geom::Vec2> viewpoints(256);
+  for (auto& v : viewpoints) {
+    v = {rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vis::VisibleRegion(set, viewpoints[i++ & 255], frame));
+  }
+}
+BENCHMARK(BM_VisibleRegion)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_IntervalSetSubtract(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<std::pair<geom::IntervalSet, geom::IntervalSet>> cases;
+  for (int c = 0; c < 256; ++c) {
+    std::vector<geom::Interval> a, b;
+    for (int i = 0; i < 12; ++i) {
+      const double lo = rng.Uniform(0, 900);
+      a.push_back(geom::Interval(lo, lo + rng.Uniform(1, 50)));
+      const double lo2 = rng.Uniform(0, 900);
+      b.push_back(geom::Interval(lo2, lo2 + rng.Uniform(1, 50)));
+    }
+    cases.emplace_back(geom::IntervalSet(std::move(a)),
+                       geom::IntervalSet(std::move(b)));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = cases[i++ & 255];
+    benchmark::DoNotOptimize(a.Subtract(b));
+  }
+}
+BENCHMARK(BM_IntervalSetSubtract);
+
+}  // namespace
+}  // namespace conn
+
+BENCHMARK_MAIN();

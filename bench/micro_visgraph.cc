@@ -1,0 +1,111 @@
+// Micro-benchmarks and design ablation of the local visibility graph.
+//
+// The paper's central scalability argument (Section 4.1) is that the local
+// graph is cheap to grow and to re-query as IOR streams obstacles in.  This
+// binary isolates that claim:
+//   * Incremental (shipped): one graph, adjacency cached and patched in
+//     place across insertions; queries interleave with growth.
+//   * RebuildEachQuery: a fresh graph is constructed from the obstacles
+//     retrieved so far at every query checkpoint — the cost profile of NOT
+//     reusing the local graph across data points.
+//   * FullVisGraphBuild: the classical global O(V^2 |O|) construction of
+//     Section 2.4 (what the paper avoids entirely).
+//   * DijkstraScanWarm: a single scan over a fully cached graph.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "datagen/datasets.h"
+#include "vis/dijkstra.h"
+#include "vis/full_vis_graph.h"
+#include "vis/vis_graph.h"
+
+namespace conn {
+namespace {
+
+std::vector<geom::Rect> LocalObstacles(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geom::Rect> rects;
+  rects.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const geom::Vec2 lo{rng.Uniform(0, 9500), rng.Uniform(0, 9500)};
+    rects.push_back(geom::Rect(
+        lo, {lo.x + rng.Uniform(5, 200), lo.y + rng.Uniform(5, 60)}));
+  }
+  return rects;
+}
+
+constexpr int kQueryEvery = 16;  // insertions between re-queries (IOR-like)
+
+// The shipped design: grow one graph, re-query as it grows.
+void BM_IncrementalGrowAndQuery(benchmark::State& state) {
+  const auto rects = LocalObstacles(state.range(0), 1);
+  for (auto _ : state) {
+    vis::VisGraph g(geom::Rect({0, 0}, {10000, 10000}));
+    const vis::VertexId t = g.AddFixedVertex({9000, 9000});
+    for (size_t i = 0; i < rects.size(); ++i) {
+      g.AddObstacle(rects[i], i);
+      if ((i % kQueryEvery) == 0) {
+        vis::DijkstraScan scan(&g, {500, 500});
+        benchmark::DoNotOptimize(scan.SettleTargets({t}));
+      }
+    }
+    vis::DijkstraScan scan(&g, {500, 500});
+    benchmark::DoNotOptimize(scan.SettleTargets({t}));
+  }
+}
+BENCHMARK(BM_IncrementalGrowAndQuery)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+// Ablation: no reuse — rebuild the local graph from scratch at every
+// query checkpoint (all adjacency recomputed from zero).
+void BM_RebuildEachQuery(benchmark::State& state) {
+  const auto rects = LocalObstacles(state.range(0), 1);
+  for (auto _ : state) {
+    for (size_t i = 0; i < rects.size(); i += kQueryEvery) {
+      vis::VisGraph g(geom::Rect({0, 0}, {10000, 10000}));
+      const vis::VertexId t = g.AddFixedVertex({9000, 9000});
+      for (size_t j = 0; j <= i; ++j) g.AddObstacle(rects[j], j);
+      vis::DijkstraScan scan(&g, {500, 500});
+      benchmark::DoNotOptimize(scan.SettleTargets({t}));
+    }
+  }
+}
+BENCHMARK(BM_RebuildEachQuery)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// Full global graph construction (Section 2.4 baseline): O(V^2 |O|).
+void BM_FullVisGraphBuild(benchmark::State& state) {
+  const auto rects = LocalObstacles(state.range(0), 2);
+  for (auto _ : state) {
+    vis::FullVisGraph g(rects);
+    g.Build();
+    benchmark::DoNotOptimize(g.VertexCount());
+  }
+}
+BENCHMARK(BM_FullVisGraphBuild)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// Dijkstra over a warm (fully cached) local graph.
+void BM_DijkstraScanWarm(benchmark::State& state) {
+  const auto rects = LocalObstacles(state.range(0), 3);
+  vis::VisGraph g(geom::Rect({0, 0}, {10000, 10000}));
+  const vis::VertexId t = g.AddFixedVertex({9000, 9000});
+  for (size_t i = 0; i < rects.size(); ++i) g.AddObstacle(rects[i], i);
+  {
+    vis::DijkstraScan warmup(&g, {500, 500});
+    warmup.SettleTargets({t});
+  }
+  Rng rng(4);
+  for (auto _ : state) {
+    vis::DijkstraScan scan(&g, {rng.Uniform(0, 10000), rng.Uniform(0, 10000)});
+    benchmark::DoNotOptimize(scan.SettleTargets({t}));
+  }
+}
+BENCHMARK(BM_DijkstraScanWarm)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace conn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// ASCII lab: a visual walkthrough of one CONN query.
+//
+// Renders a small scene (points, obstacles, query segment) as ASCII art,
+// then prints the result list with its control points and split points,
+// and a distance profile along the segment.  Handy for building intuition
+// about control points (Definition 8) and split points (Definition 7).
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/conn.h"
+#include "rtree/str_bulk_load.h"
+
+using conn::geom::Rect;
+using conn::geom::Segment;
+using conn::geom::Vec2;
+
+namespace {
+
+constexpr int kCols = 78;
+constexpr int kRows = 26;
+constexpr double kWorld = 100.0;
+
+int ColOf(double x) {
+  return std::min(kCols - 1, std::max(0, static_cast<int>(x / kWorld * kCols)));
+}
+int RowOf(double y) {
+  return std::min(kRows - 1,
+                  std::max(0, kRows - 1 - static_cast<int>(y / kWorld * kRows)));
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<Vec2> points = {{12, 70}, {50, 85}, {88, 62}, {45, 15}};
+  const std::vector<Rect> obstacles = {
+      Rect({20, 40}, {42, 55}),
+      Rect({55, 35}, {75, 50}),
+      Rect({40, 62}, {60, 70}),
+  };
+  const Segment q({5, 25}, {95, 30});
+
+  std::vector<conn::rtree::DataObject> pobj, oobj;
+  for (size_t i = 0; i < points.size(); ++i) {
+    pobj.push_back(conn::rtree::DataObject::Point(points[i], i));
+  }
+  for (size_t i = 0; i < obstacles.size(); ++i) {
+    oobj.push_back(conn::rtree::DataObject::Obstacle(obstacles[i], i));
+  }
+  auto tp = std::move(conn::rtree::StrBulkLoad(pobj)).value();
+  auto to = std::move(conn::rtree::StrBulkLoad(oobj)).value();
+
+  const conn::core::ConnResult r = conn::core::ConnQuery(tp, to, q);
+
+  // --- render the scene --------------------------------------------------
+  std::vector<std::string> canvas(kRows, std::string(kCols, ' '));
+  for (const Rect& o : obstacles) {
+    for (int row = RowOf(o.hi.y); row <= RowOf(o.lo.y); ++row) {
+      for (int col = ColOf(o.lo.x); col <= ColOf(o.hi.x); ++col) {
+        canvas[row][col] = '#';
+      }
+    }
+  }
+  const int steps = 200;
+  for (int i = 0; i <= steps; ++i) {
+    const double t = q.Length() * i / steps;
+    const Vec2 p = q.At(t);
+    char glyph = '-';
+    const int64_t pid = r.OnnAt(t);
+    if (pid >= 0) glyph = static_cast<char>('0' + pid);
+    canvas[RowOf(p.y)][ColOf(p.x)] = glyph;
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    canvas[RowOf(points[i].y)][ColOf(points[i].x)] = static_cast<char>('A' + i);
+  }
+  for (const conn::core::ConnTuple& tup : r.tuples) {
+    if (tup.point_id < 0) continue;
+    canvas[RowOf(tup.control_point.y)][ColOf(tup.control_point.x)] = '*';
+  }
+
+  std::printf("scene: A-D data points, # obstacles, * control points;\n");
+  std::printf("query segment drawn as the id of its ONN at each position\n\n");
+  for (const std::string& line : canvas) std::printf("|%s|\n", line.c_str());
+
+  // --- the result list ----------------------------------------------------
+  std::printf("\nresult list <p, cp, R> (Definition 6 + control points):\n");
+  for (const conn::core::ConnTuple& tup : r.tuples) {
+    std::printf("  point %c  cp=(%5.1f,%5.1f)  offset=%6.2f  R=[%6.2f, %6.2f]\n",
+                tup.point_id >= 0 ? static_cast<char>('A' + tup.point_id) : '-',
+                tup.control_point.x, tup.control_point.y, tup.offset,
+                tup.range.lo, tup.range.hi);
+  }
+  std::printf("split points at t =");
+  for (double s : r.SplitParams()) std::printf(" %.2f", s);
+
+  // --- distance profile ----------------------------------------------------
+  std::printf("\n\nobstructed distance to the ONN along q:\n");
+  const int buckets = 60;
+  double max_d = 0.0;
+  std::vector<double> prof(buckets + 1);
+  for (int i = 0; i <= buckets; ++i) {
+    prof[i] = r.OdistAt(q.Length() * i / buckets);
+    if (std::isfinite(prof[i])) max_d = std::max(max_d, prof[i]);
+  }
+  for (int level = 8; level >= 1; --level) {
+    std::string line(buckets + 1, ' ');
+    for (int i = 0; i <= buckets; ++i) {
+      if (std::isfinite(prof[i]) && prof[i] / max_d * 8 >= level - 0.5) {
+        line[i] = '|';
+      }
+    }
+    std::printf("  %s\n", line.c_str());
+  }
+  std::printf("  S%sE\n", std::string(buckets - 1, '-').c_str());
+  return 0;
+}

@@ -1,0 +1,180 @@
+// conn_cli: command-line front end for the library.
+//
+// Generates a synthetic dataset pair (Section 5.1 style) and answers
+// ad-hoc queries against it.  A practical smoke-test harness for anyone
+// adopting the library:
+//
+//   conn_cli conn   --points 3000 --obstacles 6000 --q 1000,1000,1450,1200
+//   conn_cli coknn  --k 3 --q 500,500,950,700
+//   conn_cli onn    --at 5000,5000 --k 5
+//   conn_cli range  --at 5000,5000 --radius 800
+//   conn_cli bench  --queries 5 --ql 4.5 --k 5
+//
+// All flags have defaults; run with --help for the list.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/coknn.h"
+#include "core/conn.h"
+#include "core/obstructed_range.h"
+#include "core/onn.h"
+#include "datagen/datasets.h"
+#include "datagen/workload.h"
+#include "rtree/str_bulk_load.h"
+
+namespace {
+
+struct Flags {
+  std::string command = "conn";
+  size_t points = 3000;
+  size_t obstacles = 6000;
+  uint64_t seed = 42;
+  std::string dist = "clustered";  // uniform | zipf | clustered
+  size_t k = 5;
+  double radius = 500.0;
+  double ql = 4.5;
+  size_t queries = 3;
+  conn::geom::Vec2 at{5000, 5000};
+  conn::geom::Segment q{{1000, 1000}, {1450, 1200}};
+};
+
+void PrintHelp() {
+  std::puts(
+      "usage: conn_cli <conn|coknn|onn|range|bench> [flags]\n"
+      "  --points N       data set cardinality            (default 3000)\n"
+      "  --obstacles N    obstacle set cardinality        (default 6000)\n"
+      "  --dist D         uniform | zipf | clustered      (default clustered)\n"
+      "  --seed S         generator seed                  (default 42)\n"
+      "  --k K            neighbors per position          (default 5)\n"
+      "  --radius R       range query radius              (default 500)\n"
+      "  --q x1,y1,x2,y2  query segment                   (conn/coknn)\n"
+      "  --at x,y         query point                     (onn/range)\n"
+      "  --ql P           query length, %% of space side   (bench)\n"
+      "  --queries N      workload size                   (bench)");
+}
+
+bool ParseVec(const char* s, conn::geom::Vec2* out) {
+  return std::sscanf(s, "%lf,%lf", &out->x, &out->y) == 2;
+}
+
+bool ParseFlags(int argc, char** argv, Flags* f) {
+  if (argc < 2) return false;
+  f->command = argv[1];
+  if (f->command == "--help" || f->command == "-h") return false;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    const char* val = argv[i + 1];
+    if (key == "--points") f->points = std::strtoull(val, nullptr, 10);
+    else if (key == "--obstacles") f->obstacles = std::strtoull(val, nullptr, 10);
+    else if (key == "--seed") f->seed = std::strtoull(val, nullptr, 10);
+    else if (key == "--dist") f->dist = val;
+    else if (key == "--k") f->k = std::strtoull(val, nullptr, 10);
+    else if (key == "--radius") f->radius = std::atof(val);
+    else if (key == "--ql") f->ql = std::atof(val);
+    else if (key == "--queries") f->queries = std::strtoull(val, nullptr, 10);
+    else if (key == "--at") {
+      if (!ParseVec(val, &f->at)) return false;
+    } else if (key == "--q") {
+      double x1, y1, x2, y2;
+      if (std::sscanf(val, "%lf,%lf,%lf,%lf", &x1, &y1, &x2, &y2) != 4) {
+        return false;
+      }
+      f->q = conn::geom::Segment({x1, y1}, {x2, y2});
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", key.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+conn::datagen::PointDistribution DistOf(const std::string& name) {
+  if (name == "uniform") return conn::datagen::PointDistribution::kUniform;
+  if (name == "zipf") return conn::datagen::PointDistribution::kZipf;
+  return conn::datagen::PointDistribution::kClustered;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags f;
+  if (!ParseFlags(argc, argv, &f)) {
+    PrintHelp();
+    return 1;
+  }
+
+  std::printf("building dataset: |P|=%zu (%s), |O|=%zu street rects, seed %llu\n",
+              f.points, f.dist.c_str(), f.obstacles,
+              static_cast<unsigned long long>(f.seed));
+  const auto pair = conn::datagen::MakeDatasetPair(DistOf(f.dist), f.points,
+                                                   f.obstacles, f.seed);
+  auto tp = std::move(conn::rtree::StrBulkLoad(
+                          conn::datagen::ToPointObjects(pair.points)))
+                .value();
+  auto to = std::move(conn::rtree::StrBulkLoad(
+                          conn::datagen::ToObstacleObjects(pair.obstacles)))
+                .value();
+  std::printf("trees: %zu + %zu pages (4 KB each)\n\n", tp.PageCount(),
+              to.PageCount());
+
+  if (f.command == "conn") {
+    const auto r = conn::core::ConnQuery(tp, to, f.q);
+    std::printf("CONN over (%.0f,%.0f)-(%.0f,%.0f):\n", f.q.a.x, f.q.a.y,
+                f.q.b.x, f.q.b.y);
+    for (const auto& [pid, range] : r.MergedByPoint()) {
+      std::printf("  point %-6lld on [%8.2f, %8.2f]  (odist %.2f at middle)\n",
+                  static_cast<long long>(pid), range.lo, range.hi,
+                  r.OdistAt(range.Mid()));
+    }
+    std::printf("%s\n", r.stats.ToString().c_str());
+  } else if (f.command == "coknn") {
+    const auto r = conn::core::CoknnQuery(tp, to, f.q, f.k);
+    std::printf("CO%zuNN: %zu intervals\n", f.k, r.tuples.size());
+    for (const auto& t : r.tuples) {
+      std::printf("  [%8.2f, %8.2f] -> {", t.range.lo, t.range.hi);
+      for (size_t i = 0; i < t.candidates.size(); ++i) {
+        std::printf("%s%lld", i ? "," : "",
+                    static_cast<long long>(t.candidates[i].pid));
+      }
+      std::printf("}\n");
+    }
+    std::printf("%s\n", r.stats.ToString().c_str());
+  } else if (f.command == "onn") {
+    const auto r = conn::core::OnnQuery(tp, to, f.at, f.k);
+    std::printf("ONN(%zu) at (%.0f, %.0f):\n", f.k, f.at.x, f.at.y);
+    for (const auto& n : r.neighbors) {
+      std::printf("  point %-6lld odist %.2f\n",
+                  static_cast<long long>(n.pid), n.odist);
+    }
+    std::printf("%s\n", r.stats.ToString().c_str());
+  } else if (f.command == "range") {
+    const auto r = conn::core::ObstructedRangeQuery(tp, to, f.at, f.radius);
+    std::printf("range(%.0f) at (%.0f, %.0f): %zu members\n", f.radius,
+                f.at.x, f.at.y, r.members.size());
+    for (size_t i = 0; i < std::min<size_t>(r.members.size(), 20); ++i) {
+      std::printf("  point %-6lld odist %.2f\n",
+                  static_cast<long long>(r.members[i].pid),
+                  r.members[i].odist);
+    }
+    std::printf("%s\n", r.stats.ToString().c_str());
+  } else if (f.command == "bench") {
+    conn::datagen::WorkloadOptions wopts;
+    wopts.query_length = conn::datagen::QueryLengthFromPercent(f.ql);
+    const auto workload = conn::datagen::MakeWorkload(
+        f.queries, conn::datagen::Workspace(), wopts, {}, f.seed * 7 + 1);
+    conn::QueryStats total;
+    for (const auto& q : workload) {
+      total += conn::core::CoknnQuery(tp, to, q, f.k).stats;
+    }
+    const conn::QueryStats avg = total.AveragedOver(workload.size());
+    std::printf("CO%zuNN x %zu queries (ql=%.1f%%): avg %s\n", f.k,
+                workload.size(), f.ql, avg.ToString().c_str());
+  } else {
+    PrintHelp();
+    return 1;
+  }
+  return 0;
+}

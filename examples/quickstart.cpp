@@ -1,0 +1,87 @@
+// Quickstart: build the two R*-trees, run a CONN query, read the answer.
+//
+// The scene recreates Figure 1(b) of the paper in spirit: gas stations
+// along a highway segment, with rectangular obstacles that make the
+// Euclidean nearest station differ from the obstructed nearest one.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/cnn.h"
+#include "core/conn.h"
+#include "rtree/str_bulk_load.h"
+
+using conn::core::ConnResult;
+using conn::geom::Rect;
+using conn::geom::Segment;
+using conn::geom::Vec2;
+
+int main() {
+  // --- the data set P: six gas stations (a..g of Figure 1) ---
+  const std::vector<Vec2> stations = {
+      {150, 180},   // 0: a  (Euclidean NN of the start S, but walled off
+                    //        behind obstacle o3 — the Figure 1(b) effect)
+      {420, 160},   // 1: b
+      {870, 140},   // 2: c
+      {300, -40},   // 3: d
+      {620, -180},  // 4: f
+      {640, 150},   // 5: g
+  };
+  const char* names[] = {"a", "b", "c", "d", "f", "g"};
+
+  // --- the obstacle set O: four rectangular obstacles ---
+  const std::vector<Rect> obstacles = {
+      Rect({80, 40}, {360, 90}),    // o3: between the highway and station d
+      Rect({380, 60}, {520, 110}),  // o1
+      Rect({540, 50}, {700, 100}),  // o2
+      Rect({700, 180}, {820, 260}), // o4
+  };
+
+  // --- index both sets (STR bulk load; insertion also works) ---
+  std::vector<conn::rtree::DataObject> point_objects, obstacle_objects;
+  for (size_t i = 0; i < stations.size(); ++i) {
+    point_objects.push_back(conn::rtree::DataObject::Point(stations[i], i));
+  }
+  for (size_t i = 0; i < obstacles.size(); ++i) {
+    obstacle_objects.push_back(
+        conn::rtree::DataObject::Obstacle(obstacles[i], i));
+  }
+  conn::rtree::RStarTree tp =
+      std::move(conn::rtree::StrBulkLoad(point_objects)).value();
+  conn::rtree::RStarTree to =
+      std::move(conn::rtree::StrBulkLoad(obstacle_objects)).value();
+
+  // --- the query: a highway segment q = [S, E] ---
+  const Segment q({100, 0}, {900, 0});
+
+  // --- CONN: obstructed nearest neighbor of every point along q ---
+  const ConnResult result = conn::core::ConnQuery(tp, to, q);
+
+  std::printf("CONN result over q = [S(100,0), E(900,0)]:\n");
+  for (const auto& [pid, range] : result.MergedByPoint()) {
+    std::printf("  station %-2s is the ONN on  t in [%7.2f, %7.2f]\n",
+                pid >= 0 ? names[pid] : "--", range.lo, range.hi);
+  }
+  std::printf("split points:");
+  for (double s : result.SplitParams()) std::printf(" %.2f", s);
+  std::printf("\n\n");
+
+  // --- contrast with Euclidean CNN (Figure 1(a) semantics) ---
+  const ConnResult euclid = conn::core::CnnQuery(tp, q);
+  std::printf("Euclidean CNN over the same q (ignores obstacles):\n");
+  for (const auto& [pid, range] : euclid.MergedByPoint()) {
+    std::printf("  station %-2s is the  NN on  t in [%7.2f, %7.2f]\n",
+                pid >= 0 ? names[pid] : "--", range.lo, range.hi);
+  }
+
+  // --- the headline difference: the answer at the start point S ---
+  std::printf("\nat S: Euclidean NN = %s, obstructed NN = %s  (odist %.2f)\n",
+              names[euclid.OnnAt(0.0)], names[result.OnnAt(0.0)],
+              result.OdistAt(0.0));
+
+  std::printf("\nquery stats: %s\n", result.stats.ToString().c_str());
+  return 0;
+}

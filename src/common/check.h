@@ -1,0 +1,44 @@
+// Invariant-checking macros.
+//
+// CONN_CHECK stays enabled in all build types: a spatial index that silently
+// corrupts its structure is worse than one that aborts, and the checks guard
+// structural invariants that are cheap relative to the I/O they sit next to.
+// CONN_DCHECK compiles away under NDEBUG and is reserved for hot loops
+// (geometry predicates, heap operations).
+
+#ifndef CONN_COMMON_CHECK_H_
+#define CONN_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace conn {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "CONN_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace conn
+
+#define CONN_CHECK(cond)                                     \
+  do {                                                       \
+    if (!(cond)) ::conn::CheckFailed(__FILE__, __LINE__, #cond, ""); \
+  } while (0)
+
+#define CONN_CHECK_MSG(cond, msg)                            \
+  do {                                                       \
+    if (!(cond)) ::conn::CheckFailed(__FILE__, __LINE__, #cond, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define CONN_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define CONN_DCHECK(cond) CONN_CHECK(cond)
+#endif
+
+#endif  // CONN_COMMON_CHECK_H_

@@ -1,0 +1,64 @@
+#include "common/stats.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace conn {
+
+QueryStats& QueryStats::operator+=(const QueryStats& other) {
+  data_page_reads += other.data_page_reads;
+  obstacle_page_reads += other.obstacle_page_reads;
+  buffer_hits += other.buffer_hits;
+  points_evaluated += other.points_evaluated;
+  obstacles_evaluated += other.obstacles_evaluated;
+  vis_graph_vertices += other.vis_graph_vertices;
+  dijkstra_runs += other.dijkstra_runs;
+  dijkstra_settled += other.dijkstra_settled;
+  visibility_tests += other.visibility_tests;
+  split_evaluations += other.split_evaluations;
+  lemma1_prunes += other.lemma1_prunes;
+  lemma7_terminations += other.lemma7_terminations;
+  lemma2_terminations += other.lemma2_terminations;
+  cpu_seconds += other.cpu_seconds;
+  return *this;
+}
+
+QueryStats QueryStats::AveragedOver(uint64_t queries) const {
+  CONN_CHECK_MSG(queries > 0, "cannot average over zero queries");
+  QueryStats avg;
+  avg.data_page_reads = data_page_reads / queries;
+  avg.obstacle_page_reads = obstacle_page_reads / queries;
+  avg.buffer_hits = buffer_hits / queries;
+  avg.points_evaluated = points_evaluated / queries;
+  avg.obstacles_evaluated = obstacles_evaluated / queries;
+  avg.vis_graph_vertices = vis_graph_vertices / queries;
+  avg.dijkstra_runs = dijkstra_runs / queries;
+  avg.dijkstra_settled = dijkstra_settled / queries;
+  avg.visibility_tests = visibility_tests / queries;
+  avg.split_evaluations = split_evaluations / queries;
+  avg.lemma1_prunes = lemma1_prunes / queries;
+  avg.lemma7_terminations = lemma7_terminations / queries;
+  avg.lemma2_terminations = lemma2_terminations / queries;
+  avg.cpu_seconds = cpu_seconds / static_cast<double>(queries);
+  return avg;
+}
+
+std::string QueryStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "QueryStats{io_pages=%llu (data=%llu, obstacle=%llu, hits=%llu), "
+      "NPE=%llu, NOE=%llu, |SVG|=%llu, cpu=%.4fs, io=%.4fs, cost=%.4fs}",
+      static_cast<unsigned long long>(TotalPageReads()),
+      static_cast<unsigned long long>(data_page_reads),
+      static_cast<unsigned long long>(obstacle_page_reads),
+      static_cast<unsigned long long>(buffer_hits),
+      static_cast<unsigned long long>(points_evaluated),
+      static_cast<unsigned long long>(obstacles_evaluated),
+      static_cast<unsigned long long>(vis_graph_vertices), cpu_seconds,
+      IoSeconds(), QueryCostSeconds());
+  return std::string(buf);
+}
+
+}  // namespace conn

@@ -1,0 +1,103 @@
+// Status / StatusOr: exception-free error propagation across the public API,
+// in the style used by RocksDB and Arrow.  Internal invariant violations use
+// CONN_CHECK (fail fast); recoverable conditions (bad options, malformed
+// input geometry, missing pages) travel as Status.
+
+#ifndef CONN_COMMON_STATUS_H_
+#define CONN_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace conn {
+
+/// Error categories surfaced by the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< caller passed options/geometry the API rejects
+  kNotFound,         ///< a referenced page / entry does not exist
+  kCorruption,       ///< on-"disk" structure failed validation
+  kUnsupported,      ///< feature combination not implemented
+  kInternal,         ///< should-not-happen condition reported gracefully
+};
+
+/// Lightweight success-or-error result. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with \p code and human-readable \p msg.
+  Status(StatusCode code, std::string msg);
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<category>: <message>", for logs and test failure output.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+/// A value or an error. `value()` CHECK-fails on error; test `ok()` first.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status s) : status_(std::move(s)) {  // NOLINT implicit
+    CONN_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT implicit
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CONN_CHECK_MSG(ok(), status_.message().c_str());
+    return value_;
+  }
+  T& value() & {
+    CONN_CHECK_MSG(ok(), status_.message().c_str());
+    return value_;
+  }
+  T&& value() && {
+    CONN_CHECK_MSG(ok(), status_.message().c_str());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// Propagates a non-OK status to the caller.
+#define CONN_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::conn::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace conn
+
+#endif  // CONN_COMMON_STATUS_H_

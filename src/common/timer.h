@@ -1,0 +1,32 @@
+// Wall-clock timing helper for the query cost model and benchmarks.
+
+#ifndef CONN_COMMON_TIMER_H_
+#define CONN_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace conn {
+
+/// Monotonic stopwatch. Started on construction; Restart() resets it.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace conn
+
+#endif  // CONN_COMMON_TIMER_H_

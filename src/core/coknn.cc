@@ -1,0 +1,336 @@
+#include "core/coknn.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "core/engine_internal.h"
+#include "core/odist.h"
+#include "rtree/best_first.h"
+
+namespace conn {
+namespace core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+KnnResultList::KnnResultList(const geom::IntervalSet& domain, size_t k)
+    : k_(k) {
+  CONN_CHECK_MSG(k >= 1, "COkNN requires k >= 1");
+  for (const geom::Interval& piece : domain.intervals()) {
+    tuples_.push_back(CoknnTuple{piece, {}});
+  }
+}
+
+double KnnResultList::RlMax(const geom::SegmentFrame& frame) const {
+  double max_val = 0.0;
+  for (const CoknnTuple& t : tuples_) {
+    if (t.candidates.size() < k_) return kInf;
+    for (const KnnCandidate& c : t.candidates) {
+      const geom::DistanceCurve curve = c.Curve(frame);
+      max_val =
+          std::max({max_val, curve.Eval(t.range.lo), curve.Eval(t.range.hi)});
+    }
+  }
+  return max_val;
+}
+
+void KnnResultList::MergeAdjacent(const geom::SegmentFrame& frame) {
+  std::vector<CoknnTuple> merged;
+  for (CoknnTuple& t : tuples_) {
+    if (!merged.empty()) {
+      CoknnTuple& prev = merged.back();
+      const bool adjacent =
+          std::abs(prev.range.hi - t.range.lo) <= geom::kEpsParam;
+      // Absorb boundary slivers into the better-filled neighbor (an
+      // eps-sized underfull leftover would pin RLMAX at +infinity).
+      if (adjacent && t.range.Length() <= geom::kEpsSliver &&
+          prev.candidates.size() >= t.candidates.size()) {
+        prev.range.hi = t.range.hi;
+        continue;
+      }
+      if (adjacent && prev.range.Length() <= geom::kEpsSliver &&
+          t.candidates.size() >= prev.candidates.size()) {
+        t.range.lo = prev.range.lo;
+        prev = std::move(t);
+        continue;
+      }
+      bool same_set = adjacent && prev.candidates.size() == t.candidates.size();
+      if (same_set) {
+        // Same candidate multiset (pid + control point + offset)?
+        for (const KnnCandidate& c : t.candidates) {
+          const bool found = std::any_of(
+              prev.candidates.begin(), prev.candidates.end(),
+              [&](const KnnCandidate& pc) {
+                return pc.pid == c.pid && pc.cp == c.cp &&
+                       pc.offset == c.offset;
+              });
+          if (!found) {
+            same_set = false;
+            break;
+          }
+        }
+      }
+      if (same_set) {
+        prev.range.hi = t.range.hi;
+        // Re-sort by distance at the merged midpoint for a canonical order.
+        const double mid = prev.range.Mid();
+        std::sort(prev.candidates.begin(), prev.candidates.end(),
+                  [&](const KnnCandidate& a, const KnnCandidate& b) {
+                    return a.Curve(frame).Eval(mid) <
+                           b.Curve(frame).Eval(mid);
+                  });
+        continue;
+      }
+    }
+    merged.push_back(std::move(t));
+  }
+  tuples_ = std::move(merged);
+}
+
+void KnnResultList::AssignCandidate(const KnnCandidate& cand,
+                                    const geom::Interval& region,
+                                    const geom::SegmentFrame& frame,
+                                    QueryStats* stats) {
+  if (region.Length() <= geom::kEpsParam) return;
+  const geom::DistanceCurve challenger = cand.Curve(frame);
+
+  std::vector<CoknnTuple> next;
+  next.reserve(tuples_.size() + 2);
+  for (CoknnTuple& tuple : tuples_) {
+    const geom::Interval overlap = tuple.range.Intersect(region);
+    if (overlap.Length() <= geom::kEpsParam) {
+      next.push_back(std::move(tuple));
+      continue;
+    }
+    // Leading kept piece.
+    if (overlap.lo - tuple.range.lo > geom::kEpsParam) {
+      next.push_back(CoknnTuple{geom::Interval(tuple.range.lo, overlap.lo),
+                                tuple.candidates});
+    }
+
+    // Contested piece: split at every curve crossing that can change set
+    // membership — challenger vs members AND members vs members (the
+    // "worst member" can swap inside the interval).
+    std::vector<double> breaks = {overlap.lo, overlap.hi};
+    std::vector<geom::DistanceCurve> curves;
+    curves.reserve(tuple.candidates.size());
+    for (const KnnCandidate& c : tuple.candidates) {
+      curves.push_back(c.Curve(frame));
+    }
+    if (stats != nullptr) ++stats->split_evaluations;
+    for (size_t i = 0; i < curves.size(); ++i) {
+      for (double x : geom::CurveCrossings(curves[i], challenger, overlap)) {
+        breaks.push_back(x);
+      }
+      for (size_t j = i + 1; j < curves.size(); ++j) {
+        for (double x : geom::CurveCrossings(curves[i], curves[j], overlap)) {
+          breaks.push_back(x);
+        }
+      }
+    }
+    std::sort(breaks.begin(), breaks.end());
+    breaks.erase(std::unique(breaks.begin(), breaks.end(),
+                             [](double a, double b) {
+                               return std::abs(a - b) <= geom::kEpsParam;
+                             }),
+                 breaks.end());
+    if (breaks.back() < overlap.hi) breaks.push_back(overlap.hi);
+
+    for (size_t i = 0; i + 1 < breaks.size(); ++i) {
+      const geom::Interval piece(breaks[i], breaks[i + 1]);
+      const double mid = piece.Mid();
+      // Rank candidates + challenger at the midpoint; keep the k nearest.
+      std::vector<std::pair<double, const KnnCandidate*>> ranked;
+      ranked.reserve(tuple.candidates.size() + 1);
+      for (size_t c = 0; c < tuple.candidates.size(); ++c) {
+        ranked.emplace_back(curves[c].Eval(mid), &tuple.candidates[c]);
+      }
+      ranked.emplace_back(challenger.Eval(mid), &cand);
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first < b.first;
+                  return a.second->pid < b.second->pid;  // deterministic ties
+                });
+      CoknnTuple out;
+      out.range = piece;
+      const size_t keep = std::min(k_, ranked.size());
+      for (size_t c = 0; c < keep; ++c) {
+        out.candidates.push_back(*ranked[c].second);
+      }
+      next.push_back(std::move(out));
+    }
+
+    // Trailing kept piece.
+    if (tuple.range.hi - overlap.hi > geom::kEpsParam) {
+      next.push_back(CoknnTuple{geom::Interval(overlap.hi, tuple.range.hi),
+                                std::move(tuple.candidates)});
+    }
+  }
+  tuples_ = std::move(next);
+  MergeAdjacent(frame);
+}
+
+void KnnResultList::Update(int64_t pid, const ControlPointList& cpl,
+                           const geom::SegmentFrame& frame,
+                           QueryStats* stats) {
+  for (const CplEntry& ce : cpl) {
+    if (!ce.has_cp) continue;
+    KnnCandidate cand;
+    cand.pid = pid;
+    cand.cp = ce.cp;
+    cand.offset = ce.offset;
+    AssignCandidate(cand, ce.range, frame, stats);
+  }
+}
+
+std::vector<int64_t> CoknnResult::KnnAt(double t) const {
+  for (const CoknnTuple& tup : tuples) {
+    if (tup.range.ContainsApprox(t)) {
+      std::vector<int64_t> ids;
+      ids.reserve(tup.candidates.size());
+      const geom::SegmentFrame frame(query);
+      std::vector<std::pair<double, int64_t>> ranked;
+      for (const KnnCandidate& c : tup.candidates) {
+        ranked.emplace_back(c.Curve(frame).Eval(t), c.pid);
+      }
+      std::sort(ranked.begin(), ranked.end());
+      for (const auto& [d, pid] : ranked) ids.push_back(pid);
+      return ids;
+    }
+  }
+  return {};
+}
+
+double CoknnResult::OdistAt(double t, size_t j) const {
+  for (const CoknnTuple& tup : tuples) {
+    if (tup.range.ContainsApprox(t)) {
+      if (j >= tup.candidates.size()) return kInf;
+      const geom::SegmentFrame frame(query);
+      std::vector<double> vals;
+      for (const KnnCandidate& c : tup.candidates) {
+        vals.push_back(c.Curve(frame).Eval(t));
+      }
+      std::sort(vals.begin(), vals.end());
+      return vals[j];
+    }
+  }
+  return kInf;
+}
+
+namespace {
+
+/// Shared main loop for both tree configurations.
+template <typename NextPointFn>
+CoknnResult RunCoknn(const geom::Segment& q, size_t k,
+                     const geom::IntervalSet& blocked, vis::VisGraph* vg,
+                     ObstacleSource* obstacle_source,
+                     NextPointFn&& next_point, const ConnOptions& opts,
+                     QueryStats* stats) {
+  CoknnResult result;
+  result.query = q;
+  result.k = k;
+
+  const geom::SegmentFrame frame(q);
+  const geom::IntervalSet reachable =
+      internal::ReachablePieces(blocked, q.Length(), &result.unreachable);
+  const std::vector<vis::VertexId> targets =
+      internal::AddTargetVertices(vg, reachable, q);
+
+  KnnResultList rl(reachable, k);
+  VisibleRegionCache vr_cache;
+  double retrieved = 0.0;
+  rtree::DataObject obj;
+  double dist;
+  while (true) {
+    const double bound = opts.use_rlmax_terminate ? rl.RlMax(frame) : kInf;
+    if (!next_point(bound, &obj, &dist)) {
+      if (bound < kInf) ++stats->lemma2_terminations;
+      break;
+    }
+    ++stats->points_evaluated;
+    const geom::Vec2 p = obj.AsPoint();
+    std::unique_ptr<vis::DijkstraScan> scan;
+    IncrementalObstacleRetrieval(obstacle_source, vg, targets, p, &retrieved,
+                                 stats, &scan);
+    const ControlPointList cpl = ComputeControlPointList(
+        vg, scan.get(), p, frame, reachable, opts, stats, &vr_cache);
+    rl.Update(static_cast<int64_t>(obj.id), cpl, frame, stats);
+  }
+  result.tuples = rl.tuples();
+  return result;
+}
+
+}  // namespace
+
+CoknnResult CoknnQuery(const rtree::RStarTree& data_tree,
+                       const rtree::RStarTree& obstacle_tree,
+                       const geom::Segment& q, size_t k,
+                       const ConnOptions& opts) {
+  Timer timer;
+  QueryStats stats;
+  internal::PagerDelta data_io(data_tree.pager());
+  internal::PagerDelta obstacle_io(obstacle_tree.pager());
+
+  const geom::Rect domain =
+      internal::WorkspaceBounds(&data_tree, &obstacle_tree, q);
+  vis::VisGraph vg(domain, &stats);
+  TreeObstacleSource obstacle_source(obstacle_tree, q);
+  const geom::IntervalSet blocked =
+      internal::BlockedIntervals(obstacle_tree, q);
+
+  rtree::BestFirstIterator points(data_tree, q);
+  auto next_point = [&](double bound, rtree::DataObject* out, double* dist) {
+    // bound may be +inf (RLMAX with underfull candidate sets): exhaustion
+    // must be detected by Next(), not by the peek comparison.
+    if (points.PeekDist() > bound) return false;
+    if (!points.Next(out, dist)) return false;
+    CONN_CHECK_MSG(out->kind == rtree::ObjectKind::kPoint,
+                   "data tree contains a non-point entry");
+    return true;
+  };
+
+  CoknnResult result = RunCoknn(q, k, blocked, &vg, &obstacle_source,
+                                next_point, opts, &stats);
+
+  stats.vis_graph_vertices = vg.VertexCount();
+  stats.data_page_reads = data_io.faults();
+  stats.obstacle_page_reads = obstacle_io.faults();
+  stats.buffer_hits = data_io.hits() + obstacle_io.hits();
+  stats.cpu_seconds = timer.ElapsedSeconds();
+  result.stats = stats;
+  return result;
+}
+
+CoknnResult CoknnQuery1T(const rtree::RStarTree& unified_tree,
+                         const geom::Segment& q, size_t k,
+                         const ConnOptions& opts) {
+  Timer timer;
+  QueryStats stats;
+  internal::PagerDelta io(unified_tree.pager());
+
+  const geom::Rect domain =
+      internal::WorkspaceBounds(&unified_tree, nullptr, q);
+  vis::VisGraph vg(domain, &stats);
+  UnifiedStream stream(unified_tree, q, &vg);
+  const geom::IntervalSet blocked = internal::BlockedIntervals(unified_tree, q);
+
+  auto next_point = [&](double bound, rtree::DataObject* out, double* dist) {
+    return stream.NextPointWithin(bound, out, dist);
+  };
+
+  CoknnResult result =
+      RunCoknn(q, k, blocked, &vg, &stream, next_point, opts, &stats);
+
+  stats.vis_graph_vertices = vg.VertexCount();
+  stats.data_page_reads = io.faults();
+  stats.buffer_hits = io.hits();
+  stats.cpu_seconds = timer.ElapsedSeconds();
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace core
+}  // namespace conn

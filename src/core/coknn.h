@@ -1,0 +1,104 @@
+// COkNN query processing (Section 4.5 of the paper): the k obstructed
+// nearest neighbors of every point along a query segment.
+//
+// The result generalizes CONN's tuples to <ONNS_i, R_i> where ONNS_i is the
+// *set* of the k nearest points over interval R_i.  Intervals are split
+// wherever set membership changes, i.e., at crossings between the distance
+// curve of an arriving candidate and the curves already in the set — and,
+// because which member is "the worst" can change inside an interval, also
+// at crossings among the existing members (the classification is done by
+// exact midpoint ranking between consecutive crossings).
+//
+// The Lemma 2 pruning bound becomes RLMAX = max_i maxodist(ONNS_i, R_i
+// endpoints), +infinity while any interval holds fewer than k candidates
+// (distance curves are convex, so endpoint values bound the interval).
+
+#ifndef CONN_CORE_COKNN_H_
+#define CONN_CORE_COKNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/cpl.h"
+#include "core/options.h"
+#include "core/result_list.h"
+#include "geom/interval_set.h"
+#include "geom/segment.h"
+#include "rtree/rstar_tree.h"
+
+namespace conn {
+namespace core {
+
+/// One member of an interval's k-NN candidate set.
+struct KnnCandidate {
+  int64_t pid = kNoPoint;
+  geom::Vec2 cp;
+  double offset = 0.0;
+
+  geom::DistanceCurve Curve(const geom::SegmentFrame& frame) const {
+    return geom::DistanceCurve::FromControlPoint(frame, cp, offset);
+  }
+};
+
+/// One tuple <ONNS, R> of the COkNN result; candidates are sorted by their
+/// obstructed distance at the interval midpoint (nearest first).
+struct CoknnTuple {
+  geom::Interval range;
+  std::vector<KnnCandidate> candidates;
+};
+
+/// Complete answer of a COkNN query.
+struct CoknnResult {
+  geom::Segment query;
+  size_t k = 1;
+  std::vector<CoknnTuple> tuples;  ///< ordered partition of the reachable q
+  geom::IntervalSet unreachable;
+  QueryStats stats;
+
+  /// Ids of the k nearest points at parameter t, nearest first.
+  std::vector<int64_t> KnnAt(double t) const;
+
+  /// Obstructed distance of the j-th nearest (0-based) at parameter t.
+  double OdistAt(double t, size_t j) const;
+};
+
+/// The running COkNN result list (exposed for unit tests).
+class KnnResultList {
+ public:
+  KnnResultList(const geom::IntervalSet& domain, size_t k);
+
+  const std::vector<CoknnTuple>& tuples() const { return tuples_; }
+
+  /// Generalized RLMAX (see file comment).
+  double RlMax(const geom::SegmentFrame& frame) const;
+
+  /// Merges data point \p pid's control point list into the candidate sets.
+  void Update(int64_t pid, const ControlPointList& cpl,
+              const geom::SegmentFrame& frame, QueryStats* stats);
+
+ private:
+  void AssignCandidate(const KnnCandidate& cand,
+                       const geom::Interval& region,
+                       const geom::SegmentFrame& frame, QueryStats* stats);
+  void MergeAdjacent(const geom::SegmentFrame& frame);
+
+  size_t k_;
+  std::vector<CoknnTuple> tuples_;
+};
+
+/// COkNN with P and O in two separate R-trees.
+CoknnResult CoknnQuery(const rtree::RStarTree& data_tree,
+                       const rtree::RStarTree& obstacle_tree,
+                       const geom::Segment& q, size_t k,
+                       const ConnOptions& opts = {});
+
+/// COkNN over one unified R-tree (Section 4.5).
+CoknnResult CoknnQuery1T(const rtree::RStarTree& unified_tree,
+                         const geom::Segment& q, size_t k,
+                         const ConnOptions& opts = {});
+
+}  // namespace core
+}  // namespace conn
+
+#endif  // CONN_CORE_COKNN_H_

@@ -1,0 +1,247 @@
+#include "core/conn.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "core/cpl.h"
+#include "core/engine_internal.h"
+#include "core/odist.h"
+#include "rtree/best_first.h"
+#include "vis/dijkstra.h"
+
+namespace conn {
+namespace core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Converts the final ResultList into public tuples.
+void ExportTuples(const ResultList& rl, ConnResult* result) {
+  for (const RlEntry& e : rl.entries()) {
+    ConnTuple t;
+    t.point_id = e.pid;
+    t.control_point = e.cp;
+    t.offset = e.offset;
+    t.range = e.range;
+    result->tuples.push_back(t);
+  }
+}
+
+/// Degenerate zero-length query: a single ONN point lookup expressed with
+/// the same IOR machinery (no interval computation involved).
+ConnResult DegenerateConn(const rtree::RStarTree& data_tree,
+                          ObstacleSource* obstacle_source,
+                          vis::VisGraph* vg, const geom::Segment& q,
+                          const ConnOptions& opts, QueryStats* stats) {
+  (void)opts;
+  ConnResult result;
+  result.query = q;
+
+  const vis::VertexId target = vg->AddFixedVertex(q.a);
+  double retrieved = 0.0;
+  double best = kInf;
+  int64_t best_pid = kNoPoint;
+
+  rtree::BestFirstIterator points(data_tree, q);
+  rtree::DataObject obj;
+  double dist;
+  while (points.PeekDist() < best) {
+    CONN_CHECK(points.Next(&obj, &dist));
+    // In the 1-tree configuration the same tree also yields obstacles.
+    if (obj.kind != rtree::ObjectKind::kPoint) continue;
+    ++stats->points_evaluated;
+    const double od = IncrementalObstacleRetrieval(
+        obstacle_source, vg, {target}, obj.AsPoint(), &retrieved, stats);
+    if (od < best) {
+      best = od;
+      best_pid = obj.id;
+    }
+  }
+  if (best_pid != kNoPoint) {
+    ConnTuple t;
+    t.point_id = best_pid;
+    t.control_point = q.a;  // trivially: the query point itself
+    t.offset = best;
+    t.range = geom::Interval(0.0, 0.0);
+    result.tuples.push_back(t);
+  }
+  return result;
+}
+
+}  // namespace
+
+double ConnResult::OdistAt(double t) const {
+  const geom::SegmentFrame frame(query);
+  for (const ConnTuple& tup : tuples) {
+    if (tup.range.ContainsApprox(t)) {
+      if (tup.point_id == kNoPoint) return kInf;
+      return geom::DistanceCurve::FromControlPoint(frame, tup.control_point,
+                                                   tup.offset)
+          .Eval(t);
+    }
+  }
+  return kInf;
+}
+
+int64_t ConnResult::OnnAt(double t) const {
+  for (const ConnTuple& tup : tuples) {
+    if (tup.range.ContainsApprox(t)) return tup.point_id;
+  }
+  return kNoPoint;
+}
+
+std::vector<std::pair<int64_t, geom::Interval>> ConnResult::MergedByPoint()
+    const {
+  std::vector<std::pair<int64_t, geom::Interval>> merged;
+  for (const ConnTuple& tup : tuples) {
+    if (!merged.empty() && merged.back().first == tup.point_id &&
+        std::abs(merged.back().second.hi - tup.range.lo) <=
+            geom::kEpsParam) {
+      merged.back().second.hi = tup.range.hi;
+    } else {
+      merged.emplace_back(tup.point_id, tup.range);
+    }
+  }
+  return merged;
+}
+
+std::vector<double> ConnResult::SplitParams() const {
+  std::vector<double> splits;
+  const auto merged = MergedByPoint();
+  for (size_t i = 0; i + 1 < merged.size(); ++i) {
+    if (std::abs(merged[i].second.hi - merged[i + 1].second.lo) <=
+        geom::kEpsParam) {
+      splits.push_back(merged[i].second.hi);
+    }
+  }
+  return splits;
+}
+
+ConnResult ConnQuery(const rtree::RStarTree& data_tree,
+                     const rtree::RStarTree& obstacle_tree,
+                     const geom::Segment& q, const ConnOptions& opts) {
+  Timer timer;
+  QueryStats stats;
+  internal::PagerDelta data_io(data_tree.pager());
+  internal::PagerDelta obstacle_io(obstacle_tree.pager());
+
+  const geom::Rect domain =
+      internal::WorkspaceBounds(&data_tree, &obstacle_tree, q);
+  vis::VisGraph vg(domain, &stats);
+  TreeObstacleSource obstacle_source(obstacle_tree, q);
+
+  ConnResult result;
+  if (q.Length() <= 0.0) {
+    result = DegenerateConn(data_tree, &obstacle_source, &vg, q, opts, &stats);
+  } else {
+    result.query = q;
+    const geom::SegmentFrame frame(q);
+    const geom::IntervalSet blocked =
+        internal::BlockedIntervals(obstacle_tree, q);
+    const geom::IntervalSet reachable =
+        internal::ReachablePieces(blocked, q.Length(), &result.unreachable);
+
+    const std::vector<vis::VertexId> targets =
+        internal::AddTargetVertices(&vg, reachable, q);
+
+    ResultList rl(reachable);
+    rtree::BestFirstIterator points(data_tree, q);
+    VisibleRegionCache vr_cache;
+    double retrieved = 0.0;
+    rtree::DataObject obj;
+    double dist;
+    while (true) {
+      const double peek = points.PeekDist();
+      if (peek == kInf) break;
+      if (opts.use_rlmax_terminate && peek > rl.RlMax(frame)) {
+        ++stats.lemma2_terminations;  // Lemma 2: no remaining point matters
+        break;
+      }
+      CONN_CHECK(points.Next(&obj, &dist));
+      CONN_CHECK_MSG(obj.kind == rtree::ObjectKind::kPoint,
+                     "data tree contains a non-point entry");
+      ++stats.points_evaluated;
+      const geom::Vec2 p = obj.AsPoint();
+      std::unique_ptr<vis::DijkstraScan> scan;
+      IncrementalObstacleRetrieval(&obstacle_source, &vg, targets, p,
+                                   &retrieved, &stats, &scan);
+      const ControlPointList cpl = ComputeControlPointList(
+          &vg, scan.get(), p, frame, reachable, opts, &stats, &vr_cache);
+      rl.Update(static_cast<int64_t>(obj.id), cpl, frame, opts, &stats);
+    }
+    ExportTuples(rl, &result);
+  }
+
+  stats.vis_graph_vertices = vg.VertexCount();
+  stats.data_page_reads = data_io.faults();
+  stats.obstacle_page_reads = obstacle_io.faults();
+  stats.buffer_hits = data_io.hits() + obstacle_io.hits();
+  stats.cpu_seconds = timer.ElapsedSeconds();
+  result.stats = stats;
+  return result;
+}
+
+ConnResult ConnQuery1T(const rtree::RStarTree& unified_tree,
+                       const geom::Segment& q, const ConnOptions& opts) {
+  Timer timer;
+  QueryStats stats;
+  internal::PagerDelta io(unified_tree.pager());
+
+  const geom::Rect domain = internal::WorkspaceBounds(&unified_tree, nullptr, q);
+  vis::VisGraph vg(domain, &stats);
+  UnifiedStream stream(unified_tree, q, &vg);
+
+  ConnResult result;
+  if (q.Length() <= 0.0) {
+    // For the degenerate case the unified stream acts as the obstacle
+    // source; points it buffers are re-found by the dedicated iterator.
+    result = DegenerateConn(unified_tree, &stream, &vg, q, opts, &stats);
+  } else {
+    result.query = q;
+    const geom::SegmentFrame frame(q);
+    const geom::IntervalSet blocked =
+        internal::BlockedIntervals(unified_tree, q);
+    const geom::IntervalSet reachable =
+        internal::ReachablePieces(blocked, q.Length(), &result.unreachable);
+
+    const std::vector<vis::VertexId> targets =
+        internal::AddTargetVertices(&vg, reachable, q);
+
+    ResultList rl(reachable);
+    VisibleRegionCache vr_cache;
+    double retrieved = 0.0;
+    rtree::DataObject obj;
+    double dist;
+    while (true) {
+      const double bound =
+          opts.use_rlmax_terminate ? rl.RlMax(frame) : kInf;
+      if (!stream.NextPointWithin(bound, &obj, &dist)) {
+        if (bound < kInf) ++stats.lemma2_terminations;
+        break;
+      }
+      ++stats.points_evaluated;
+      retrieved = std::max(retrieved, stream.retrieved_up_to());
+      const geom::Vec2 p = obj.AsPoint();
+      std::unique_ptr<vis::DijkstraScan> scan;
+      IncrementalObstacleRetrieval(&stream, &vg, targets, p, &retrieved,
+                                   &stats, &scan);
+      const ControlPointList cpl = ComputeControlPointList(
+          &vg, scan.get(), p, frame, reachable, opts, &stats, &vr_cache);
+      rl.Update(static_cast<int64_t>(obj.id), cpl, frame, opts, &stats);
+    }
+    ExportTuples(rl, &result);
+  }
+
+  stats.vis_graph_vertices = vg.VertexCount();
+  stats.data_page_reads = io.faults();  // single tree: all I/O charged here
+  stats.buffer_hits = io.hits();
+  stats.cpu_seconds = timer.ElapsedSeconds();
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace core
+}  // namespace conn

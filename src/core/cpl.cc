@@ -1,0 +1,265 @@
+#include "core/cpl.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+#include "common/check.h"
+#include "geom/distance.h"
+#include "geom/predicates.h"
+#include "geom/split.h"
+#include "vis/dijkstra.h"
+#include "vis/visible_region.h"
+
+namespace conn {
+namespace core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Merges adjacent entries carrying the same control point and absorbs
+/// boundary slivers (an eps-sized control-point-less leftover would keep
+/// CPLMAX infinite and defeat the Lemma 7 termination).
+void MergeAdjacent(ControlPointList* cpl) {
+  ControlPointList merged;
+  for (const CplEntry& e : *cpl) {
+    if (!merged.empty()) {
+      CplEntry& prev = merged.back();
+      const bool adjacent =
+          std::abs(prev.range.hi - e.range.lo) <= geom::kEpsParam;
+      const bool same =
+          prev.has_cp == e.has_cp &&
+          (!e.has_cp || (prev.cp == e.cp && prev.offset == e.offset));
+      if (adjacent && same) {
+        prev.range.hi = e.range.hi;
+        continue;
+      }
+      if (adjacent && e.range.Length() <= geom::kEpsSliver && prev.has_cp) {
+        prev.range.hi = e.range.hi;
+        continue;
+      }
+      if (adjacent && prev.range.Length() <= geom::kEpsSliver && e.has_cp) {
+        CplEntry grown = e;
+        grown.range.lo = prev.range.lo;
+        prev = grown;
+        continue;
+      }
+    }
+    merged.push_back(e);
+  }
+  *cpl = std::move(merged);
+}
+
+/// Merges candidate (cp, offset) into the list over `regions`, competing
+/// with incumbents by exact curve comparison.
+void AssignCandidate(ControlPointList* cpl, geom::Vec2 cp, double offset,
+                     const geom::IntervalSet& regions,
+                     const geom::SegmentFrame& frame, const ConnOptions& opts,
+                     QueryStats* stats) {
+  if (regions.IsEmpty()) return;
+  const geom::DistanceCurve challenger =
+      geom::DistanceCurve::FromControlPoint(frame, cp, offset);
+
+  ControlPointList next;
+  next.reserve(cpl->size() + 2);
+  for (const CplEntry& entry : *cpl) {
+    const geom::IntervalSet contested = regions.Intersect(entry.range);
+    if (contested.IsEmpty()) {
+      next.push_back(entry);
+      continue;
+    }
+    // Walk the entry's range, alternating kept and contested pieces.
+    double cursor = entry.range.lo;
+    auto push_kept = [&](double lo, double hi) {
+      if (hi - lo <= geom::kEpsParam) return;
+      CplEntry kept = entry;
+      kept.range = geom::Interval(lo, hi);
+      next.push_back(kept);
+    };
+    for (const geom::Interval& piece : contested.intervals()) {
+      push_kept(cursor, piece.lo);
+      cursor = std::max(cursor, piece.hi);
+      const geom::Interval sub(std::max(piece.lo, entry.range.lo),
+                               std::min(piece.hi, entry.range.hi));
+      if (sub.Length() <= geom::kEpsParam) continue;
+      if (!entry.has_cp) {
+        // Line 11-12 of Algorithm 2: unassigned interval, candidate takes it.
+        CplEntry taken;
+        taken.has_cp = true;
+        taken.cp = cp;
+        taken.offset = offset;
+        taken.range = sub;
+        next.push_back(taken);
+        continue;
+      }
+      const geom::DistanceCurve incumbent = entry.Curve(frame);
+      if (opts.use_lemma1_prune &&
+          geom::EndpointDominancePrune(incumbent, challenger, sub)) {
+        if (stats != nullptr) ++stats->lemma1_prunes;
+        CplEntry kept = entry;
+        kept.range = sub;
+        next.push_back(kept);
+        continue;
+      }
+      if (stats != nullptr) ++stats->split_evaluations;
+      for (const geom::LabeledInterval& li :
+           geom::CompareCurves(incumbent, challenger, sub)) {
+        CplEntry piece_entry = entry;
+        if (li.winner == geom::CurveWinner::kChallenger) {
+          piece_entry.has_cp = true;
+          piece_entry.cp = cp;
+          piece_entry.offset = offset;
+        }
+        piece_entry.range = li.interval;
+        next.push_back(piece_entry);
+      }
+    }
+    push_kept(cursor, entry.range.hi);
+  }
+  *cpl = std::move(next);
+  MergeAdjacent(cpl);
+}
+
+}  // namespace
+
+double CplMax(const ControlPointList& cpl, const geom::SegmentFrame& frame) {
+  double max_val = 0.0;
+  for (const CplEntry& e : cpl) {
+    if (!e.has_cp) return kInf;
+    const geom::DistanceCurve c = e.Curve(frame);
+    max_val = std::max({max_val, c.Eval(e.range.lo), c.Eval(e.range.hi)});
+  }
+  return max_val;
+}
+
+bool CplIsPartition(const ControlPointList& cpl,
+                    const geom::IntervalSet& domain) {
+  // Entries must appear in order and, per domain piece, tile it end to end
+  // (small eps-slivers between adjacent entries are tolerated).
+  size_t i = 0;
+  for (const geom::Interval& piece : domain.intervals()) {
+    double cursor = piece.lo;
+    while (i < cpl.size() && cpl[i].range.hi <= piece.hi + geom::kEpsParam) {
+      if (std::abs(cpl[i].range.lo - cursor) > 4 * geom::kEpsParam) {
+        return false;
+      }
+      cursor = cpl[i].range.hi;
+      ++i;
+    }
+    if (std::abs(cursor - piece.hi) > 4 * geom::kEpsParam) return false;
+  }
+  return i == cpl.size();
+}
+
+const geom::IntervalSet& VisibleRegionCache::Get(vis::VisGraph* vg,
+                                                 vis::VertexId v,
+                                                 const geom::SegmentFrame& frame,
+                                                 uint64_t* test_counter) {
+  if (epoch_ != vg->epoch()) {
+    cache_.clear();
+    epoch_ = vg->epoch();
+  }
+  if (cache_.size() < vg->VertexCount()) cache_.resize(vg->VertexCount());
+  if (!cache_[v].has_value()) {
+    cache_[v] = vis::VisibleRegion(vg->obstacles(), vg->VertexPos(v), frame,
+                                   test_counter);
+  }
+  return *cache_[v];
+}
+
+ControlPointList ComputeControlPointList(vis::VisGraph* vg,
+                                         vis::DijkstraScan* scan,
+                                         geom::Vec2 p,
+                                         const geom::SegmentFrame& frame,
+                                         const geom::IntervalSet& domain,
+                                         const ConnOptions& opts,
+                                         QueryStats* stats,
+                                         VisibleRegionCache* vr_cache) {
+  CONN_CHECK(scan != nullptr && vr_cache != nullptr);
+  ControlPointList cpl;
+  for (const geom::Interval& piece : domain.intervals()) {
+    cpl.push_back(CplEntry{false, {}, 0.0, piece});
+  }
+  if (cpl.empty()) return cpl;
+
+  uint64_t* vis_counter = stats ? &stats->visibility_tests : nullptr;
+
+  // The data point itself is the control point wherever it directly sees q
+  // (the scan iterates graph vertices; p is the scan's source).
+  const geom::IntervalSet vr_p =
+      vis::VisibleRegion(vg->obstacles(), p, frame, vis_counter);
+  AssignCandidate(&cpl, p, 0.0, vr_p, frame, opts, stats);
+
+  const size_t settled_before = scan->SettledCount();
+  for (size_t i = 0; scan->EnsureSettled(i); ++i) {
+    const auto [v, dist_v, pred] = scan->log()[i];
+    const double cplmax = CplMax(cpl, frame);
+    if (opts.use_lemma7_terminate && dist_v >= cplmax) {
+      // Lemma 7 with the relaxed zero lower bound on mindist(v, q): the
+      // scan is ordered by ||p, v||, so every remaining vertex is out too.
+      if (stats != nullptr) ++stats->lemma7_terminations;
+      break;
+    }
+    const geom::Vec2 vpos = vg->VertexPos(v);
+    if (opts.use_lemma7_terminate &&
+        dist_v + geom::DistPointSegment(vpos, frame.segment()) >= cplmax) {
+      continue;  // Lemma 7 proper, applied per vertex
+    }
+
+    // Lemma 5: v cannot control intervals its path predecessor already sees.
+    const geom::IntervalSet& vr_v = vr_cache->Get(vg, v, frame, vis_counter);
+    geom::Vec2 upos;
+    const geom::IntervalSet* vr_u = nullptr;
+    if (pred == vis::kPredSource) {
+      upos = p;
+      vr_u = &vr_p;
+    } else {
+      CONN_CHECK(pred >= 0);
+      upos = vg->VertexPos(static_cast<vis::VertexId>(pred));
+      vr_u = &vr_cache->Get(vg, static_cast<vis::VertexId>(pred), frame,
+                            vis_counter);
+    }
+    geom::IntervalSet candidate_region = vr_v.Subtract(*vr_u);
+    if (candidate_region.IsEmpty()) continue;
+
+    if (opts.use_lemma6_refine) {
+      // Lemma 6: an interval whose endpoints the predecessor sees cannot be
+      // controlled by v unless v lies inside the triangle (u, R.l, R.r).
+      std::vector<geom::Interval> kept;
+      for (const geom::Interval& r : candidate_region.intervals()) {
+        const bool ends_visible_to_u =
+            vr_u->Contains(r.lo) && vr_u->Contains(r.hi);
+        if (ends_visible_to_u &&
+            !geom::PointInTriangle(upos, frame.PointAt(r.lo),
+                                   frame.PointAt(r.hi), vpos)) {
+          continue;  // pruned by Lemma 6
+        }
+        kept.push_back(r);
+      }
+      candidate_region = geom::IntervalSet(std::move(kept));
+      if (candidate_region.IsEmpty()) continue;
+    }
+
+    AssignCandidate(&cpl, vpos, dist_v, candidate_region, frame, opts, stats);
+  }
+  if (stats != nullptr) {
+    stats->dijkstra_settled += scan->SettledCount() - settled_before;
+  }
+  return cpl;
+}
+
+ControlPointList ComputeControlPointList(vis::VisGraph* vg, geom::Vec2 p,
+                                         const geom::SegmentFrame& frame,
+                                         const geom::IntervalSet& domain,
+                                         const ConnOptions& opts,
+                                         QueryStats* stats) {
+  vis::DijkstraScan scan(vg, p);
+  if (stats != nullptr) ++stats->dijkstra_runs;
+  VisibleRegionCache cache;
+  return ComputeControlPointList(vg, &scan, p, frame, domain, opts, stats,
+                                 &cache);
+}
+
+}  // namespace core
+}  // namespace conn

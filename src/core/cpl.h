@@ -1,0 +1,105 @@
+// Control Point List Computation (CPLC) — Algorithm 2 of the paper.
+//
+// The control point list CPL(p, q) (Definition 9) partitions the query
+// segment into intervals, each tagged with the vertex cp through which
+// every shortest path from p to that interval passes (Definition 8), plus
+// the accumulated distance ||p, cp||.  The obstructed distance from p to
+// q(t) is then the simple curve ||p, cp|| + dist(cp, q(t)) — the form all
+// split-point computation relies on.
+//
+// The computation walks the local visibility graph from p in ascending
+// obstructed distance (an incremental Dijkstra scan) and, per settled
+// vertex v with shortest-path predecessor u:
+//   * restricts v's candidacy to VR(v) - VR(u)       (Lemma 5),
+//   * drops intervals failing the triangle test      (Lemma 6),
+//   * stops the scan at ||p, v|| >= CPLMAX           (Lemma 7),
+// merging each surviving candidate into the list via the robust curve
+// comparison of geom/split.h.
+
+#ifndef CONN_CORE_CPL_H_
+#define CONN_CORE_CPL_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/options.h"
+#include "geom/curve.h"
+#include "geom/interval.h"
+#include "geom/interval_set.h"
+#include "vis/dijkstra.h"
+#include "vis/vis_graph.h"
+
+namespace conn {
+namespace core {
+
+/// One tuple <cp, R> of a control point list.  `has_cp == false` marks an
+/// interval p cannot reach (no vertex sees it, or blocked entirely).
+struct CplEntry {
+  bool has_cp = false;
+  geom::Vec2 cp;        ///< control point position
+  double offset = 0.0;  ///< ||p, cp||
+  geom::Interval range;
+
+  /// Distance curve of this entry over the frame.
+  geom::DistanceCurve Curve(const geom::SegmentFrame& frame) const {
+    return geom::DistanceCurve::FromControlPoint(frame, cp, offset);
+  }
+};
+
+/// Ordered partition of the query domain (the reachable part of q).
+using ControlPointList = std::vector<CplEntry>;
+
+/// Per-query cache of visible regions VR(v, q).  A vertex's visible region
+/// depends only on the vertex and the obstacle set, not on the data point
+/// being evaluated, so one cache serves every CPLC run of a query; it
+/// self-invalidates when the graph's obstacle epoch advances.
+class VisibleRegionCache {
+ public:
+  /// The (cached) visible region of vertex \p v over the frame's segment.
+  const geom::IntervalSet& Get(vis::VisGraph* vg, vis::VertexId v,
+                               const geom::SegmentFrame& frame,
+                               uint64_t* test_counter);
+
+ private:
+  std::vector<std::optional<geom::IntervalSet>> cache_;
+  uint64_t epoch_ = 0;
+};
+
+/// Computes CPL(p, q) on the (IOR-completed) local visibility graph,
+/// restricted to \p domain — the reachable portion of the query segment
+/// (sub-intervals of q inside obstacle interiors are excluded up front so
+/// the Lemma 7 bound CPLMAX stays finite).
+///
+/// \p scan must be a Dijkstra scan from p over the current graph (normally
+/// the one IOR just finished — its settlement log is replayed and extended
+/// in place).  \p vr_cache (optional) shares visible regions across the
+/// query's CPLC runs.  \p stats (optional) receives split/lemma counters.
+ControlPointList ComputeControlPointList(vis::VisGraph* vg,
+                                         vis::DijkstraScan* scan,
+                                         geom::Vec2 p,
+                                         const geom::SegmentFrame& frame,
+                                         const geom::IntervalSet& domain,
+                                         const ConnOptions& opts,
+                                         QueryStats* stats,
+                                         VisibleRegionCache* vr_cache);
+
+/// Convenience overload: seeds its own scan and cache (tests, one-shot use).
+ControlPointList ComputeControlPointList(vis::VisGraph* vg, geom::Vec2 p,
+                                         const geom::SegmentFrame& frame,
+                                         const geom::IntervalSet& domain,
+                                         const ConnOptions& opts,
+                                         QueryStats* stats);
+
+/// CPLMAX of Lemma 7: the largest endpoint value over all entries
+/// (+infinity while some interval has no control point yet).
+double CplMax(const ControlPointList& cpl, const geom::SegmentFrame& frame);
+
+/// Sanity check for tests: entries tile \p domain in order.
+bool CplIsPartition(const ControlPointList& cpl,
+                    const geom::IntervalSet& domain);
+
+}  // namespace core
+}  // namespace conn
+
+#endif  // CONN_CORE_CPL_H_

@@ -1,0 +1,111 @@
+// Shared plumbing of the CONN-family query engines (conn.cc, coknn.cc,
+// onn.cc, cnn.cc).  Internal header — not part of the public API.
+
+#ifndef CONN_CORE_ENGINE_INTERNAL_H_
+#define CONN_CORE_ENGINE_INTERNAL_H_
+
+#include <vector>
+
+#include "geom/interval_set.h"
+#include "geom/predicates.h"
+#include "geom/segment.h"
+#include "rtree/rstar_tree.h"
+#include "storage/pager.h"
+#include "vis/vis_graph.h"
+
+namespace conn {
+namespace core {
+namespace internal {
+
+/// Workspace rectangle covering the trees' contents and the query segment
+/// (used as the local obstacle grid's domain).  Either tree may be null.
+inline geom::Rect WorkspaceBounds(const rtree::RStarTree* a,
+                                  const rtree::RStarTree* b,
+                                  const geom::Segment& q) {
+  geom::Rect r = q.Bounds();
+  if (a != nullptr) r = r.ExpandedToCover(a->Bounds());
+  if (b != nullptr) r = r.ExpandedToCover(b->Bounds());
+  // Guard against degenerate domains (single point workloads).
+  const double pad = 1.0 + 1e-3 * std::max(r.Width(), r.Height());
+  return geom::Rect({r.lo.x - pad, r.lo.y - pad}, {r.hi.x + pad, r.hi.y + pad});
+}
+
+/// Arc-length intervals of \p q lying strictly inside obstacle interiors
+/// indexed by \p tree (non-obstacle entries are ignored, so the unified
+/// tree of the 1-tree configuration works too).
+inline geom::IntervalSet BlockedIntervals(const rtree::RStarTree& tree,
+                                          const geom::Segment& q) {
+  std::vector<rtree::DataObject> hits;
+  CONN_CHECK(tree.SegmentIntersectionQuery(q, &hits).ok());
+  const double len = q.Length();
+  std::vector<geom::Interval> blocked;
+  for (const rtree::DataObject& obj : hits) {
+    if (obj.kind != rtree::ObjectKind::kObstacle) continue;
+    const geom::Rect& r = obj.rect;
+    const geom::Rect inner{
+        {r.lo.x + geom::kEpsInterior, r.lo.y + geom::kEpsInterior},
+        {r.hi.x - geom::kEpsInterior, r.hi.y - geom::kEpsInterior}};
+    if (!inner.IsValid()) continue;
+    double t0, t1;
+    if (!geom::ClipSegmentToRect(q, inner, &t0, &t1)) continue;
+    if (t1 - t0 <= 0.0) continue;
+    blocked.push_back(geom::Interval(t0 * len, t1 * len));
+  }
+  return geom::IntervalSet(std::move(blocked));
+}
+
+/// Splits [0, len] into reachable pieces and the blocked/sliver complement.
+/// Pieces not meaningfully longer than the parameter tolerance are moved to
+/// the unreachable side: a sliver piece could never be claimed robustly and
+/// would pin the RLMAX termination bound at +infinity (see kEpsSliver).
+inline geom::IntervalSet ReachablePieces(const geom::IntervalSet& blocked,
+                                         double length,
+                                         geom::IntervalSet* unreachable) {
+  const geom::IntervalSet raw =
+      blocked.ComplementWithin(geom::Interval(0.0, length));
+  std::vector<geom::Interval> keep;
+  std::vector<geom::Interval> dropped = blocked.intervals();
+  for (const geom::Interval& piece : raw.intervals()) {
+    if (piece.Length() <= geom::kEpsSliver) {
+      dropped.push_back(piece);
+    } else {
+      keep.push_back(piece);
+    }
+  }
+  *unreachable = geom::IntervalSet(std::move(dropped));
+  return geom::IntervalSet(std::move(keep));
+}
+
+/// Adds a fixed graph vertex at both endpoints of every reachable piece of
+/// the query segment; returns the vertex ids (the IOR targets).
+inline std::vector<vis::VertexId> AddTargetVertices(
+    vis::VisGraph* vg, const geom::IntervalSet& reachable,
+    const geom::Segment& q) {
+  std::vector<vis::VertexId> targets;
+  for (const geom::Interval& piece : reachable.intervals()) {
+    targets.push_back(vg->AddFixedVertex(q.At(piece.lo)));
+    targets.push_back(vg->AddFixedVertex(q.At(piece.hi)));
+  }
+  return targets;
+}
+
+/// Snapshot of a Pager's fault/hit counters for delta accounting.
+class PagerDelta {
+ public:
+  explicit PagerDelta(const storage::Pager& pager)
+      : pager_(pager), faults0_(pager.faults()), hits0_(pager.hits()) {}
+
+  uint64_t faults() const { return pager_.faults() - faults0_; }
+  uint64_t hits() const { return pager_.hits() - hits0_; }
+
+ private:
+  const storage::Pager& pager_;
+  uint64_t faults0_;
+  uint64_t hits0_;
+};
+
+}  // namespace internal
+}  // namespace core
+}  // namespace conn
+
+#endif  // CONN_CORE_ENGINE_INTERNAL_H_

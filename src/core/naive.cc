@@ -1,0 +1,76 @@
+#include "core/naive.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace conn {
+namespace core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+NaiveOracle::NaiveOracle(std::vector<geom::Vec2> points,
+                         std::vector<geom::Rect> obstacles)
+    : points_(std::move(points)),
+      obstacles_(obstacles),
+      graph_(std::move(obstacles)) {
+  point_vertex_.reserve(points_.size());
+  for (const geom::Vec2& p : points_) {
+    point_vertex_.push_back(graph_.AddPoint(p));
+  }
+  graph_.Build();
+}
+
+std::vector<double> NaiveOracle::DistancesFromLocation(geom::Vec2 s) const {
+  return graph_.DistancesFromLocation(s);
+}
+
+double NaiveOracle::Odist(geom::Vec2 a, geom::Vec2 b) const {
+  if (graph_.Visible(a, b)) return geom::Dist(a, b);
+  const std::vector<double> da = DistancesFromLocation(a);
+  double best = kInf;
+  for (vis::VertexId v = 0; v < graph_.VertexCount(); ++v) {
+    if (da[v] == kInf) continue;
+    const geom::Vec2 vp = graph_.VertexPos(v);
+    if (graph_.Visible(vp, b)) {
+      best = std::min(best, da[v] + geom::Dist(vp, b));
+    }
+  }
+  return best;
+}
+
+double NaiveOracle::OdistToPoint(geom::Vec2 s, size_t pid) const {
+  CONN_CHECK(pid < points_.size());
+  return DistancesFromLocation(s)[point_vertex_[pid]];
+}
+
+std::vector<double> NaiveOracle::OdistToAllPoints(geom::Vec2 s) const {
+  const std::vector<double> dist = DistancesFromLocation(s);
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (vis::VertexId v : point_vertex_) out.push_back(dist[v]);
+  return out;
+}
+
+std::vector<std::pair<int64_t, double>> NaiveOracle::OnnAt(geom::Vec2 s,
+                                                           size_t k) const {
+  const std::vector<double> dist = OdistToAllPoints(s);
+  std::vector<std::pair<int64_t, double>> ranked;
+  ranked.reserve(points_.size());
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (dist[i] < kInf) ranked.emplace_back(static_cast<int64_t>(i), dist[i]);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second < b.second;
+              return a.first < b.first;
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+}  // namespace core
+}  // namespace conn

@@ -1,0 +1,68 @@
+// Brute-force reference implementations ("ground truth oracles").
+//
+// These deliberately trade time and space for obviousness: the full global
+// visibility graph (Section 2.4) over every obstacle corner and every data
+// point, brute-force sight-line tests against the entire obstacle set, and
+// dense sampling along the query segment.  They exist to validate the
+// optimized algorithms in property tests and to serve as the naive
+// baselines the paper argues against (Section 1: "a naive approach is to
+// issue an ONN search at every point of q").
+
+#ifndef CONN_CORE_NAIVE_H_
+#define CONN_CORE_NAIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/segment.h"
+#include "geom/vec.h"
+#include "vis/full_vis_graph.h"
+
+namespace conn {
+namespace core {
+
+/// Ground-truth oracle over in-memory point and obstacle sets.
+class NaiveOracle {
+ public:
+  /// Builds the full visibility graph over all obstacle corners plus all
+  /// data points (O(V^2 |O|) — small inputs only).
+  NaiveOracle(std::vector<geom::Vec2> points,
+              std::vector<geom::Rect> obstacles);
+
+  size_t num_points() const { return points_.size(); }
+
+  /// Exact obstructed distance between two arbitrary locations
+  /// (+infinity when no obstacle-free path exists).
+  double Odist(geom::Vec2 a, geom::Vec2 b) const;
+
+  /// Exact obstructed distance from location \p s to data point \p pid.
+  double OdistToPoint(geom::Vec2 s, size_t pid) const;
+
+  /// Exact obstructed distances from \p s to every data point.
+  std::vector<double> OdistToAllPoints(geom::Vec2 s) const;
+
+  /// The k obstructed nearest data points of \p s as (pid, odist), nearest
+  /// first; unreachable points excluded.
+  std::vector<std::pair<int64_t, double>> OnnAt(geom::Vec2 s,
+                                                size_t k) const;
+
+  /// Size of the underlying full visibility graph (the paper's FULL
+  /// baseline is 4|O| corners; extra points add to this count).
+  size_t FullGraphVertexCount() const { return graph_.VertexCount(); }
+
+ private:
+  /// Shortest distances from an arbitrary (non-vertex) source to every
+  /// graph vertex, via a virtual-source Dijkstra.
+  std::vector<double> DistancesFromLocation(geom::Vec2 s) const;
+
+  std::vector<geom::Vec2> points_;
+  std::vector<geom::Rect> obstacles_;
+  vis::FullVisGraph graph_;
+  std::vector<vis::VertexId> point_vertex_;  // graph vertex of each point
+};
+
+}  // namespace core
+}  // namespace conn
+
+#endif  // CONN_CORE_NAIVE_H_

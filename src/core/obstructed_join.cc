@@ -1,0 +1,188 @@
+#include "core/obstructed_join.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <memory>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "core/engine_internal.h"
+#include "core/odist.h"
+#include "core/onn.h"
+#include "rtree/pair_join.h"
+
+namespace conn {
+namespace core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Obstructed-distance evaluation context anchored at one left object:
+/// a local visibility graph around a (the degenerate segment [a, a]) whose
+/// obstacle set grows across all right partners of a (IOR reuse).
+struct LeftContext {
+  std::unique_ptr<vis::VisGraph> vg;
+  std::unique_ptr<TreeObstacleSource> source;
+  vis::VertexId target = 0;
+  double retrieved = 0.0;
+};
+
+class PairOdistEvaluator {
+ public:
+  PairOdistEvaluator(const rtree::RStarTree& tree_a,
+                     const rtree::RStarTree& tree_b,
+                     const rtree::RStarTree& obstacle_tree, QueryStats* stats)
+      : tree_a_(tree_a),
+        tree_b_(tree_b),
+        obstacle_tree_(obstacle_tree),
+        stats_(stats) {}
+
+  double Odist(const rtree::DataObject& a, const rtree::DataObject& b) {
+    LeftContext& ctx = ContextFor(a);
+    return IncrementalObstacleRetrieval(ctx.source.get(), ctx.vg.get(),
+                                        {ctx.target}, b.AsPoint(),
+                                        &ctx.retrieved, stats_);
+  }
+
+ private:
+  LeftContext& ContextFor(const rtree::DataObject& a) {
+    auto it = contexts_.find(static_cast<int64_t>(a.id));
+    if (it != contexts_.end()) return it->second;
+    const geom::Vec2 pos = a.AsPoint();
+    const geom::Segment q(pos, pos);
+    LeftContext ctx;
+    ctx.vg = std::make_unique<vis::VisGraph>(
+        internal::WorkspaceBounds(&tree_a_, &obstacle_tree_, q)
+            .ExpandedToCover(tree_b_.Bounds()),
+        stats_);
+    ctx.target = ctx.vg->AddFixedVertex(pos);
+    ctx.source = std::make_unique<TreeObstacleSource>(obstacle_tree_, q);
+    return contexts_.emplace(static_cast<int64_t>(a.id), std::move(ctx))
+        .first->second;
+  }
+
+  const rtree::RStarTree& tree_a_;
+  const rtree::RStarTree& tree_b_;
+  const rtree::RStarTree& obstacle_tree_;
+  QueryStats* stats_;
+  std::map<int64_t, LeftContext> contexts_;
+};
+
+void FinishStats(const internal::PagerDelta& a_io,
+                 const internal::PagerDelta& b_io,
+                 const internal::PagerDelta& o_io, const Timer& timer,
+                 JoinResult* result) {
+  result->stats.data_page_reads = a_io.faults() + b_io.faults();
+  result->stats.obstacle_page_reads = o_io.faults();
+  result->stats.buffer_hits = a_io.hits() + b_io.hits() + o_io.hits();
+  result->stats.cpu_seconds = timer.ElapsedSeconds();
+}
+
+}  // namespace
+
+JoinResult ObstructedEDistanceJoin(const rtree::RStarTree& tree_a,
+                                   const rtree::RStarTree& tree_b,
+                                   const rtree::RStarTree& obstacle_tree,
+                                   double e, const ConnOptions& opts) {
+  (void)opts;
+  CONN_CHECK_MSG(e >= 0.0, "join radius must be non-negative");
+  Timer timer;
+  JoinResult result;
+  internal::PagerDelta a_io(tree_a.pager()), b_io(tree_b.pager()),
+      o_io(obstacle_tree.pager());
+
+  PairOdistEvaluator eval(tree_a, tree_b, obstacle_tree, &result.stats);
+  rtree::PairDistanceJoin pairs(tree_a, tree_b);
+  rtree::DataObject a, b;
+  double euclid;
+  // Euclidean pair distance lower-bounds obstructed pair distance: pairs
+  // beyond e can never join.
+  while (pairs.PeekDist() <= e) {
+    if (!pairs.Next(&a, &b, &euclid)) break;
+    ++result.stats.points_evaluated;
+    const double od = eval.Odist(a, b);
+    if (od <= e) {
+      result.pairs.push_back({static_cast<int64_t>(a.id),
+                              static_cast<int64_t>(b.id), od});
+    }
+  }
+  std::sort(result.pairs.begin(), result.pairs.end(),
+            [](const JoinPair& x, const JoinPair& y) {
+              if (x.odist != y.odist) return x.odist < y.odist;
+              if (x.a_pid != y.a_pid) return x.a_pid < y.a_pid;
+              return x.b_pid < y.b_pid;
+            });
+  FinishStats(a_io, b_io, o_io, timer, &result);
+  return result;
+}
+
+JoinResult ObstructedClosestPairs(const rtree::RStarTree& tree_a,
+                                  const rtree::RStarTree& tree_b,
+                                  const rtree::RStarTree& obstacle_tree,
+                                  size_t k, const ConnOptions& opts) {
+  (void)opts;
+  CONN_CHECK_MSG(k >= 1, "closest pairs requires k >= 1");
+  Timer timer;
+  JoinResult result;
+  internal::PagerDelta a_io(tree_a.pager()), b_io(tree_b.pager()),
+      o_io(obstacle_tree.pager());
+
+  PairOdistEvaluator eval(tree_a, tree_b, obstacle_tree, &result.stats);
+  rtree::PairDistanceJoin pairs(tree_a, tree_b);
+  auto kth_bound = [&]() {
+    return result.pairs.size() < k ? kInf : result.pairs.back().odist;
+  };
+  rtree::DataObject a, b;
+  double euclid;
+  while (pairs.PeekDist() < kth_bound()) {
+    if (!pairs.Next(&a, &b, &euclid)) break;
+    ++result.stats.points_evaluated;
+    const double od = eval.Odist(a, b);
+    if (od >= kth_bound()) continue;  // also skips unreachable (inf) pairs
+    result.pairs.push_back(
+        {static_cast<int64_t>(a.id), static_cast<int64_t>(b.id), od});
+    std::sort(result.pairs.begin(), result.pairs.end(),
+              [](const JoinPair& x, const JoinPair& y) {
+                if (x.odist != y.odist) return x.odist < y.odist;
+                if (x.a_pid != y.a_pid) return x.a_pid < y.a_pid;
+                return x.b_pid < y.b_pid;
+              });
+    if (result.pairs.size() > k) result.pairs.pop_back();
+  }
+  FinishStats(a_io, b_io, o_io, timer, &result);
+  return result;
+}
+
+JoinResult ObstructedSemiJoin(const rtree::RStarTree& tree_a,
+                              const rtree::RStarTree& tree_b,
+                              const rtree::RStarTree& obstacle_tree,
+                              const ConnOptions& opts) {
+  Timer timer;
+  JoinResult result;
+  internal::PagerDelta a_io(tree_a.pager()), b_io(tree_b.pager()),
+      o_io(obstacle_tree.pager());
+
+  std::vector<rtree::DataObject> lefts;
+  CONN_CHECK(tree_a.RangeQuery(tree_a.Bounds(), &lefts).ok());
+  std::sort(lefts.begin(), lefts.end(),
+            [](const rtree::DataObject& x, const rtree::DataObject& y) {
+              return x.id < y.id;
+            });
+  for (const rtree::DataObject& a : lefts) {
+    const OnnResult onn =
+        OnnQuery(tree_b, obstacle_tree, a.AsPoint(), 1, opts);
+    result.stats += onn.stats;
+    if (!onn.neighbors.empty()) {
+      result.pairs.push_back({static_cast<int64_t>(a.id),
+                              onn.neighbors[0].pid,
+                              onn.neighbors[0].odist});
+    }
+  }
+  FinishStats(a_io, b_io, o_io, timer, &result);
+  return result;
+}
+
+}  // namespace core
+}  // namespace conn

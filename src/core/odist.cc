@@ -1,0 +1,121 @@
+#include "core/odist.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "vis/dijkstra.h"
+
+namespace conn {
+namespace core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+bool TreeObstacleSource::NextObstacleWithin(double bound,
+                                            rtree::DataObject* out,
+                                            double* dist) {
+  // Note: with bound == +inf (IOR's full-drain fallback) the peek test
+  // cannot reject an exhausted stream (inf > inf is false), so Next() must
+  // be allowed to report exhaustion.
+  if (it_.PeekDist() > bound) return false;
+  if (!it_.Next(out, dist)) return false;
+  CONN_CHECK_MSG(out->kind == rtree::ObjectKind::kObstacle,
+                 "obstacle tree contains a non-obstacle entry");
+  return true;
+}
+
+bool UnifiedStream::NextObstacleWithin(double bound, rtree::DataObject* out,
+                                       double* dist) {
+  while (it_.PeekDist() <= bound) {
+    rtree::DataObject obj;
+    double d;
+    if (!it_.Next(&obj, &d)) return false;  // exhausted (bound may be +inf)
+    retrieved_up_to_ = std::max(retrieved_up_to_, d);
+    if (obj.kind == rtree::ObjectKind::kObstacle) {
+      *out = obj;
+      *dist = d;
+      return true;
+    }
+    pending_points_.emplace_back(obj, d);
+  }
+  return false;
+}
+
+double UnifiedStream::PeekPointDistHint() const {
+  if (!pending_points_.empty()) return pending_points_.front().second;
+  return kInf;  // unknown without advancing; callers combine with PeekDist
+}
+
+bool UnifiedStream::NextPointWithin(double bound, rtree::DataObject* out,
+                                    double* dist) {
+  // Pending points were popped in ascending order, so the front is the
+  // global minimum over all unprocessed points.
+  if (!pending_points_.empty()) {
+    if (pending_points_.front().second > bound) return false;
+    *out = pending_points_.front().first;
+    *dist = pending_points_.front().second;
+    pending_points_.pop_front();
+    return true;
+  }
+  while (it_.PeekDist() <= bound) {
+    rtree::DataObject obj;
+    double d;
+    if (!it_.Next(&obj, &d)) return false;  // exhausted (bound may be +inf)
+    retrieved_up_to_ = std::max(retrieved_up_to_, d);
+    if (obj.kind == rtree::ObjectKind::kPoint) {
+      *out = obj;
+      *dist = d;
+      return true;
+    }
+    // Paper semantics for the unified traversal: a popped obstacle is
+    // inserted into the local visibility graph right away.
+    vg_->AddObstacle(obj.rect, obj.id);
+  }
+  return false;
+}
+
+double IncrementalObstacleRetrieval(
+    ObstacleSource* source, vis::VisGraph* vg,
+    const std::vector<vis::VertexId>& targets, geom::Vec2 p,
+    double* retrieved_up_to, QueryStats* stats,
+    std::unique_ptr<vis::DijkstraScan>* out_scan) {
+  CONN_CHECK_MSG(!targets.empty(), "IOR requires at least one target vertex");
+  double d = 0.0;
+  while (true) {
+    // Local shortest paths on the current graph (Algorithm 1 line 2).
+    auto scan = std::make_unique<vis::DijkstraScan>(vg, p);
+    if (stats != nullptr) ++stats->dijkstra_runs;
+    d = scan->SettleTargets(targets);
+    if (stats != nullptr) stats->dijkstra_settled += scan->SettledCount();
+
+    // Lemma 3: once every obstacle with mindist <= d is present and the
+    // recomputed paths do not lengthen, the paths are the true shortest
+    // paths and the search range SR(p, q) (Theorem 2) is covered.
+    if (d <= *retrieved_up_to) {
+      if (out_scan != nullptr) *out_scan = std::move(scan);
+      break;
+    }
+
+    bool fetched = false;
+    rtree::DataObject obstacle;
+    double obstacle_dist;
+    while (source->NextObstacleWithin(d, &obstacle, &obstacle_dist)) {
+      vg->AddObstacle(obstacle.rect, obstacle.id);
+      fetched = true;
+    }
+    // All obstacles with mindist <= d are now local (the source yields them
+    // in ascending order and refused only those beyond d).
+    *retrieved_up_to = std::max(*retrieved_up_to, d);
+    if (!fetched) {
+      // Graph unchanged => d is final and the scan is still valid.
+      if (out_scan != nullptr) *out_scan = std::move(scan);
+      break;
+    }
+  }
+  return d;
+}
+
+}  // namespace core
+}  // namespace conn

@@ -1,0 +1,117 @@
+// Incremental Obstacle Retrieval (IOR) — Algorithm 1 of the paper — and the
+// obstacle-provisioning streams it consumes.
+//
+// IOR guarantees (Theorem 2 + Lemmas 3/4) that after it returns, the local
+// visibility graph contains every obstacle that can affect the obstructed
+// distance from the data point p to any point of the query segment, and
+// that the shortest-path distances from p to the segment's endpoint
+// vertices computed on the local graph equal the true obstructed distances.
+//
+// Obstacles arrive in ascending order of their minimum Euclidean distance
+// to the query segment, either from a dedicated obstacle R-tree (2-tree
+// configuration) or interleaved with data points from one unified R-tree
+// (1-tree configuration, Section 4.5) — the ObstacleSource interface hides
+// the difference.
+
+#ifndef CONN_CORE_ODIST_H_
+#define CONN_CORE_ODIST_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "rtree/best_first.h"
+#include "vis/dijkstra.h"
+#include "vis/vis_graph.h"
+
+namespace conn {
+namespace core {
+
+/// Ascending-mindist stream of obstacles.
+class ObstacleSource {
+ public:
+  virtual ~ObstacleSource() = default;
+
+  /// Pops the next obstacle whose mindist to the query segment is <= bound.
+  /// Returns false — without advancing past the bound — when none remains
+  /// within it.
+  virtual bool NextObstacleWithin(double bound, rtree::DataObject* out,
+                                  double* dist) = 0;
+};
+
+/// 2-tree configuration: obstacles stream from their own R-tree.
+class TreeObstacleSource : public ObstacleSource {
+ public:
+  TreeObstacleSource(const rtree::RStarTree& obstacle_tree,
+                     const geom::Segment& q)
+      : it_(obstacle_tree, q) {}
+
+  bool NextObstacleWithin(double bound, rtree::DataObject* out,
+                          double* dist) override;
+
+ private:
+  rtree::BestFirstIterator it_;
+};
+
+/// 1-tree configuration (Section 4.5): both sets share one R-tree.  Popped
+/// obstacles are inserted into the visibility graph immediately (as in the
+/// paper); popped data points are buffered for the main loop, preserving
+/// their ascending-distance order.
+class UnifiedStream : public ObstacleSource {
+ public:
+  UnifiedStream(const rtree::RStarTree& unified_tree, const geom::Segment& q,
+                vis::VisGraph* vg)
+      : it_(unified_tree, q), vg_(vg) {}
+
+  // --- ObstacleSource (used by IOR) ---
+  bool NextObstacleWithin(double bound, rtree::DataObject* out,
+                          double* dist) override;
+
+  /// Distance of the next unprocessed data point (buffered or upstream);
+  /// +infinity when the stream is exhausted.  Does not advance the
+  /// underlying iterator.
+  double PeekPointDistHint() const;
+
+  /// Pops the next data point with distance <= bound.  Obstacles
+  /// encountered on the way enter the visibility graph.  Returns false when
+  /// no point remains within the bound.
+  bool NextPointWithin(double bound, rtree::DataObject* out, double* dist);
+
+  /// Largest distance of any object popped from the underlying stream so
+  /// far: every obstacle with mindist below this is already in the graph.
+  double retrieved_up_to() const { return retrieved_up_to_; }
+
+ private:
+  rtree::BestFirstIterator it_;
+  vis::VisGraph* vg_;
+  std::deque<std::pair<rtree::DataObject, double>> pending_points_;
+  double retrieved_up_to_ = 0.0;
+};
+
+/// Runs IOR (Algorithm 1) for data point \p p: repeatedly computes local
+/// shortest paths from p to the \p targets vertices, fetches every obstacle
+/// with mindist(o, q) within the current path bound, and iterates until the
+/// bound stabilizes (Lemma 3).  \p retrieved_up_to carries the "previous
+/// search distance d" across data points so the obstacle set O is consumed
+/// at most once per query.
+///
+/// Returns the (now exact) maximum obstructed distance from p to the
+/// targets — +infinity when some target is unreachable (in which case the
+/// entire source has been drained, so the local graph is complete and all
+/// later computations remain correct).
+///
+/// When \p out_scan is non-null it receives the final Dijkstra scan from p
+/// (valid for the now-stable obstacle set) so CPLC can continue it instead
+/// of re-seeding — the scan's settlement log already covers the search
+/// range of Theorem 2.
+double IncrementalObstacleRetrieval(
+    ObstacleSource* source, vis::VisGraph* vg,
+    const std::vector<vis::VertexId>& targets, geom::Vec2 p,
+    double* retrieved_up_to, QueryStats* stats,
+    std::unique_ptr<vis::DijkstraScan>* out_scan = nullptr);
+
+}  // namespace core
+}  // namespace conn
+
+#endif  // CONN_CORE_ODIST_H_

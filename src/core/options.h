@@ -1,0 +1,33 @@
+// Options controlling CONN / COkNN query processing.  The lemma toggles
+// exist for the pruning ablation study (bench/ablation_pruning); production
+// callers keep the defaults (everything on).
+
+#ifndef CONN_CORE_OPTIONS_H_
+#define CONN_CORE_OPTIONS_H_
+
+namespace conn {
+namespace core {
+
+/// Knobs for the CONN family of queries.
+struct ConnOptions {
+  /// Lemma 1 endpoint-dominance fast path inside RLU / CPLC updates.
+  bool use_lemma1_prune = true;
+
+  /// Lemma 6 triangle refinement of candidate control-point regions.
+  bool use_lemma6_refine = true;
+
+  /// Lemma 7 CPLMAX termination of the CPLC Dijkstra traversal.
+  bool use_lemma7_terminate = true;
+
+  /// Lemma 2 RLMAX termination of the main data-point loop.  Disabling
+  /// forces evaluation of every data point (for the ablation only).
+  bool use_rlmax_terminate = true;
+
+  /// Resolution of the local obstacle grid (cells per side).
+  int grid_cells_per_side = 64;
+};
+
+}  // namespace core
+}  // namespace conn
+
+#endif  // CONN_CORE_OPTIONS_H_

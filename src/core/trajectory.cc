@@ -1,0 +1,46 @@
+#include "core/trajectory.h"
+
+#include "common/check.h"
+
+namespace conn {
+namespace core {
+
+double TrajectoryResult::TotalLength() const {
+  double total = 0.0;
+  for (const TrajectoryLeg& leg : legs) total += leg.segment.Length();
+  return total;
+}
+
+int64_t TrajectoryResult::OnnAtArcLength(double s) const {
+  double cursor = 0.0;
+  for (const TrajectoryLeg& leg : legs) {
+    const double len = leg.segment.Length();
+    if (s <= cursor + len || &leg == &legs.back()) {
+      return leg.result.OnnAt(s - cursor);
+    }
+    cursor += len;
+  }
+  return kNoPoint;
+}
+
+TrajectoryResult TrajectoryConnQuery(const rtree::RStarTree& data_tree,
+                                     const rtree::RStarTree& obstacle_tree,
+                                     const std::vector<geom::Vec2>& waypoints,
+                                     const ConnOptions& opts) {
+  CONN_CHECK_MSG(waypoints.size() >= 2,
+                 "trajectory needs at least two waypoints");
+  TrajectoryResult out;
+  for (size_t i = 0; i + 1 < waypoints.size(); ++i) {
+    const geom::Segment leg(waypoints[i], waypoints[i + 1]);
+    if (leg.Length() <= 0.0) continue;  // skip duplicate waypoints
+    TrajectoryLeg entry;
+    entry.segment = leg;
+    entry.result = ConnQuery(data_tree, obstacle_tree, leg, opts);
+    out.total_stats += entry.result.stats;
+    out.legs.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace conn

@@ -1,0 +1,49 @@
+// Trajectory CONN — the first future-work extension named in Section 6 of
+// the paper: "retrieving the ONN of every point on a specified moving
+// trajectory that consists of several consecutive line segments."
+//
+// Each polyline leg is answered by the single-segment CONN engine; the
+// result keeps per-leg tuples plus aggregated statistics.  (Each leg builds
+// its own local visibility graph: the graph's target vertices and visible
+// regions are leg-specific, and the paper's reuse argument applies within
+// one segment's evaluation, not across segments.)
+
+#ifndef CONN_CORE_TRAJECTORY_H_
+#define CONN_CORE_TRAJECTORY_H_
+
+#include <vector>
+
+#include "core/conn.h"
+
+namespace conn {
+namespace core {
+
+/// CONN answer for one leg of a trajectory.
+struct TrajectoryLeg {
+  geom::Segment segment;
+  ConnResult result;
+};
+
+/// Answer of a trajectory CONN query.
+struct TrajectoryResult {
+  std::vector<TrajectoryLeg> legs;
+  QueryStats total_stats;  ///< sums over all legs
+
+  /// ONN id at arc-length position \p s measured along the whole polyline.
+  int64_t OnnAtArcLength(double s) const;
+
+  /// Total polyline length.
+  double TotalLength() const;
+};
+
+/// Runs CONN over every leg of the polyline defined by \p waypoints
+/// (at least 2).  Consecutive duplicate waypoints are skipped.
+TrajectoryResult TrajectoryConnQuery(const rtree::RStarTree& data_tree,
+                                     const rtree::RStarTree& obstacle_tree,
+                                     const std::vector<geom::Vec2>& waypoints,
+                                     const ConnOptions& opts = {});
+
+}  // namespace core
+}  // namespace conn
+
+#endif  // CONN_CORE_TRAJECTORY_H_

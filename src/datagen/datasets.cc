@@ -1,0 +1,139 @@
+#include "datagen/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "datagen/distributions.h"
+#include "vis/obstacle_set.h"
+
+namespace conn {
+namespace datagen {
+
+std::vector<geom::Vec2> GeneratePoints(PointDistribution dist, size_t n,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  switch (dist) {
+    case PointDistribution::kUniform:
+      return UniformPoints(n, Workspace(), &rng);
+    case PointDistribution::kZipf:
+      return ZipfPoints(n, Workspace(), kZipfAlpha, &rng);
+    case PointDistribution::kClustered: {
+      // ~200 clusters at CA scale, proportionally fewer for small n.
+      const size_t clusters =
+          std::max<size_t>(4, std::min<size_t>(200, n / 300 + 4));
+      return ClusteredPoints(n, Workspace(), clusters, &rng);
+    }
+  }
+  CONN_CHECK_MSG(false, "unknown distribution");
+  return {};
+}
+
+std::vector<geom::Rect> StreetRects(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  const geom::Rect ws = Workspace();
+  std::vector<geom::Rect> out;
+  out.reserve(n);
+
+  auto clamp_rect = [&](geom::Rect r) {
+    r.lo.x = std::clamp(r.lo.x, ws.lo.x, ws.hi.x - kMinObstacleExtent);
+    r.lo.y = std::clamp(r.lo.y, ws.lo.y, ws.hi.y - kMinObstacleExtent);
+    r.hi.x = std::clamp(r.hi.x, r.lo.x + kMinObstacleExtent, ws.hi.x);
+    r.hi.y = std::clamp(r.hi.y, r.lo.y + kMinObstacleExtent, ws.hi.y);
+    return r;
+  };
+
+  while (out.size() < n) {
+    // A "street run": several collinear thin segments sharing an axis,
+    // mimicking consecutive street MBRs along one road.
+    const bool horizontal = rng.Bernoulli(0.5);
+    const size_t run_len = 1 + rng.UniformU64(8);
+    geom::Vec2 anchor{rng.Uniform(ws.lo.x, ws.hi.x),
+                      rng.Uniform(ws.lo.y, ws.hi.y)};
+    const double thickness = rng.Uniform(2.0, 12.0);
+    for (size_t i = 0; i < run_len && out.size() < n; ++i) {
+      // Street-segment length: log-normal around ~55 workspace units.
+      const double len =
+          std::clamp(rng.LogNormal(4.0, 0.7), kMinObstacleExtent, 2000.0);
+      geom::Rect r;
+      if (horizontal) {
+        r = geom::Rect({anchor.x, anchor.y - thickness * 0.5},
+                       {anchor.x + len, anchor.y + thickness * 0.5});
+        anchor.x += len + rng.Uniform(5.0, 60.0);  // gap to the next block
+        anchor.y += rng.Uniform(-8.0, 8.0);        // slight drift
+      } else {
+        r = geom::Rect({anchor.x - thickness * 0.5, anchor.y},
+                       {anchor.x + thickness * 0.5, anchor.y + len});
+        anchor.y += len + rng.Uniform(5.0, 60.0);
+        anchor.x += rng.Uniform(-8.0, 8.0);
+      }
+      out.push_back(clamp_rect(r));
+    }
+  }
+  return out;
+}
+
+size_t DisplacePointsOutsideObstacles(std::vector<geom::Vec2>* points,
+                                      const std::vector<geom::Rect>& obstacles,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  vis::ObstacleSet set(Workspace(), /*grid_cells_per_side=*/128);
+  for (size_t i = 0; i < obstacles.size(); ++i) {
+    set.Add(obstacles[i], i);
+  }
+  size_t moved = 0;
+  for (geom::Vec2& p : *points) {
+    if (!set.PointInAnyInterior(p)) continue;
+    ++moved;
+    // Resample near the original position with growing radius, keeping the
+    // underlying distribution roughly intact.
+    double radius = 20.0;
+    for (int attempt = 0; attempt < 256; ++attempt) {
+      geom::Vec2 cand{p.x + rng.Uniform(-radius, radius),
+                      p.y + rng.Uniform(-radius, radius)};
+      cand.x = std::clamp(cand.x, Workspace().lo.x, Workspace().hi.x);
+      cand.y = std::clamp(cand.y, Workspace().lo.y, Workspace().hi.y);
+      if (!set.PointInAnyInterior(cand)) {
+        p = cand;
+        break;
+      }
+      radius *= 1.25;
+    }
+    CONN_CHECK_MSG(!set.PointInAnyInterior(p),
+                   "could not displace point out of obstacles");
+  }
+  return moved;
+}
+
+std::vector<rtree::DataObject> ToPointObjects(
+    const std::vector<geom::Vec2>& points) {
+  std::vector<rtree::DataObject> out;
+  out.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    out.push_back(rtree::DataObject::Point(points[i], i));
+  }
+  return out;
+}
+
+std::vector<rtree::DataObject> ToObstacleObjects(
+    const std::vector<geom::Rect>& rects) {
+  std::vector<rtree::DataObject> out;
+  out.reserve(rects.size());
+  for (size_t i = 0; i < rects.size(); ++i) {
+    out.push_back(rtree::DataObject::Obstacle(rects[i], i));
+  }
+  return out;
+}
+
+DatasetPair MakeDatasetPair(PointDistribution dist, size_t point_count,
+                            size_t obstacle_count, uint64_t seed) {
+  DatasetPair pair;
+  pair.obstacles = StreetRects(obstacle_count, seed * 31 + 7);
+  pair.points = GeneratePoints(dist, point_count, seed * 17 + 3);
+  DisplacePointsOutsideObstacles(&pair.points, pair.obstacles, seed * 13 + 11);
+  return pair;
+}
+
+}  // namespace datagen
+}  // namespace conn

@@ -1,0 +1,88 @@
+// Synthetic datasets reproducing the statistical shape of Section 5.1's
+// experimental data:
+//
+//   CA  (60,344 California location points)  -> ClusteredPoints
+//   LA  (131,461 street MBR rectangles)      -> StreetRects
+//   Uniform / Zipf(0.8) synthetic points     -> distributions.h
+//
+// The rtreeportal.org originals are not available offline; DESIGN.md
+// documents the substitution.  All datasets are normalized to the paper's
+// [0, 10000]^2 workspace, data points are displaced out of obstacle
+// interiors (the paper allows boundary contact but not containment), and
+// every obstacle has extent >= kMinObstacleExtent so the interior-blocking
+// predicate is meaningful.
+
+#ifndef CONN_DATAGEN_DATASETS_H_
+#define CONN_DATAGEN_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/box.h"
+#include "rtree/entry.h"
+
+namespace conn {
+namespace datagen {
+
+/// The paper's normalized workspace.
+inline geom::Rect Workspace() {
+  return geom::Rect({0.0, 0.0}, {10000.0, 10000.0});
+}
+
+/// Paper cardinalities (Section 5.1).
+inline constexpr size_t kCaCardinality = 60344;
+inline constexpr size_t kLaCardinality = 131461;
+
+/// Minimum width/height of generated obstacles.
+inline constexpr double kMinObstacleExtent = 1.0;
+
+/// Point distribution selector for P.
+enum class PointDistribution {
+  kUniform,    ///< "Uniform" synthetic set
+  kZipf,       ///< "Zipf" synthetic set (alpha = 0.8)
+  kClustered,  ///< CA stand-in
+};
+
+/// Zipf skew used by the paper.
+inline constexpr double kZipfAlpha = 0.8;
+
+/// Generates n data points of the given distribution over the workspace.
+std::vector<geom::Vec2> GeneratePoints(PointDistribution dist, size_t n,
+                                       uint64_t seed);
+
+/// Generates n thin axis-aligned street-MBR rectangles over the workspace —
+/// the LA stand-in.  Streets form Manhattan-style runs of collinear
+/// segments; lengths are log-normal; overlaps are allowed (real MBRs
+/// overlap too).
+std::vector<geom::Rect> StreetRects(size_t n, uint64_t seed);
+
+/// Moves any point lying strictly inside an obstacle onto free space
+/// (resampling uniformly nearby until clear).  Returns how many moved.
+size_t DisplacePointsOutsideObstacles(std::vector<geom::Vec2>* points,
+                                      const std::vector<geom::Rect>& obstacles,
+                                      uint64_t seed);
+
+/// Wraps points as R-tree objects (id = index).
+std::vector<rtree::DataObject> ToPointObjects(
+    const std::vector<geom::Vec2>& points);
+
+/// Wraps obstacle rects as R-tree objects (id = index).
+std::vector<rtree::DataObject> ToObstacleObjects(
+    const std::vector<geom::Rect>& rects);
+
+/// A ready-to-query dataset pair (P, O) like the paper's CL / UL / ZL.
+struct DatasetPair {
+  std::vector<geom::Vec2> points;
+  std::vector<geom::Rect> obstacles;
+};
+
+/// Builds (P, O) with |O| = obstacle_count street rects and
+/// |P| = point_count points of \p dist, points displaced out of obstacles.
+DatasetPair MakeDatasetPair(PointDistribution dist, size_t point_count,
+                            size_t obstacle_count, uint64_t seed);
+
+}  // namespace datagen
+}  // namespace conn
+
+#endif  // CONN_DATAGEN_DATASETS_H_

@@ -1,0 +1,65 @@
+#include "datagen/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace conn {
+namespace datagen {
+
+double ZipfFraction(Rng* rng, double alpha) {
+  CONN_CHECK_MSG(alpha >= 0.0 && alpha < 1.0, "ZipfFraction needs alpha in [0,1)");
+  const double u = 1.0 - rng->NextDouble();  // (0, 1]
+  return std::pow(u, 1.0 / (1.0 - alpha));
+}
+
+std::vector<geom::Vec2> UniformPoints(size_t n, const geom::Rect& domain,
+                                      Rng* rng) {
+  std::vector<geom::Vec2> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back({rng->Uniform(domain.lo.x, domain.hi.x),
+                   rng->Uniform(domain.lo.y, domain.hi.y)});
+  }
+  return out;
+}
+
+std::vector<geom::Vec2> ZipfPoints(size_t n, const geom::Rect& domain,
+                                   double alpha, Rng* rng) {
+  std::vector<geom::Vec2> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Coordinates on both dimensions are mutually independent (Section 5.1).
+    out.push_back(
+        {domain.lo.x + domain.Width() * ZipfFraction(rng, alpha),
+         domain.lo.y + domain.Height() * ZipfFraction(rng, alpha)});
+  }
+  return out;
+}
+
+std::vector<geom::Vec2> ClusteredPoints(size_t n, const geom::Rect& domain,
+                                        size_t num_clusters, Rng* rng) {
+  CONN_CHECK(num_clusters >= 1);
+  // Cluster centers uniform; per-cluster spread log-normal so a few dense
+  // metro-style blobs coexist with wide rural scatter (CA-like).
+  std::vector<geom::Vec2> centers = UniformPoints(num_clusters, domain, rng);
+  std::vector<double> spread(num_clusters);
+  const double base = 0.02 * std::min(domain.Width(), domain.Height());
+  for (double& s : spread) s = base * rng->LogNormal(0.0, 0.75);
+
+  std::vector<geom::Vec2> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const size_t c = static_cast<size_t>(rng->UniformU64(num_clusters));
+    geom::Vec2 p{rng->Normal(centers[c].x, spread[c]),
+                 rng->Normal(centers[c].y, spread[c])};
+    p.x = std::clamp(p.x, domain.lo.x, domain.hi.x);
+    p.y = std::clamp(p.y, domain.lo.y, domain.hi.y);
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace datagen
+}  // namespace conn

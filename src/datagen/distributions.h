@@ -1,0 +1,37 @@
+// Random point distributions for the synthetic datasets of Section 5.1.
+
+#ifndef CONN_DATAGEN_DISTRIBUTIONS_H_
+#define CONN_DATAGEN_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/box.h"
+
+namespace conn {
+namespace datagen {
+
+/// A fraction in (0, 1] skewed toward 0 with Zipf-like density
+/// f(x) ~ x^(-alpha); sampled by inverse CDF, x = u^(1/(1-alpha)).
+/// Requires 0 <= alpha < 1 (the paper uses alpha = 0.8).
+double ZipfFraction(Rng* rng, double alpha);
+
+/// n points uniform over \p domain.
+std::vector<geom::Vec2> UniformPoints(size_t n, const geom::Rect& domain,
+                                      Rng* rng);
+
+/// n points with per-axis independent Zipf(alpha) coordinates (skewed
+/// toward domain.lo), the paper's "Zipf" synthetic data set.
+std::vector<geom::Vec2> ZipfPoints(size_t n, const geom::Rect& domain,
+                                   double alpha, Rng* rng);
+
+/// n points in Gaussian clusters around uniformly placed centers — the
+/// stand-in for the CA real data set (population-style clustering).
+std::vector<geom::Vec2> ClusteredPoints(size_t n, const geom::Rect& domain,
+                                        size_t num_clusters, Rng* rng);
+
+}  // namespace datagen
+}  // namespace conn
+
+#endif  // CONN_DATAGEN_DISTRIBUTIONS_H_

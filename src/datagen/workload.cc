@@ -1,0 +1,78 @@
+#include "datagen/workload.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "datagen/datasets.h"
+#include "geom/predicates.h"
+#include "vis/obstacle_set.h"
+
+namespace conn {
+namespace datagen {
+
+double QueryLengthFromPercent(double ql_percent) {
+  return ql_percent / 100.0 * Workspace().Width();
+}
+
+namespace {
+
+geom::Segment SampleSegment(Rng* rng, const geom::Rect& domain,
+                            double length) {
+  for (int attempt = 0; attempt < 1024; ++attempt) {
+    const geom::Vec2 start{rng->Uniform(domain.lo.x, domain.hi.x),
+                           rng->Uniform(domain.lo.y, domain.hi.y)};
+    const double theta = rng->Uniform(0.0, 2.0 * std::numbers::pi);
+    const geom::Vec2 end{start.x + length * std::cos(theta),
+                         start.y + length * std::sin(theta)};
+    if (domain.Contains(end)) return geom::Segment(start, end);
+  }
+  // Extremely long queries relative to the domain: fall back to a diagonal
+  // chord of the requested length anchored at the center.
+  const geom::Vec2 c = domain.Center();
+  const double half = length * 0.5 / std::numbers::sqrt2;
+  return geom::Segment({c.x - half, c.y - half}, {c.x + half, c.y + half});
+}
+
+}  // namespace
+
+geom::Segment RandomQuerySegment(const geom::Rect& domain,
+                                 const WorkloadOptions& opts,
+                                 const std::vector<geom::Rect>& obstacles,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  if (!opts.avoid_obstacle_crossings || obstacles.empty()) {
+    return SampleSegment(&rng, domain, opts.query_length);
+  }
+  vis::ObstacleSet set(domain, /*grid_cells_per_side=*/128);
+  for (size_t i = 0; i < obstacles.size(); ++i) set.Add(obstacles[i], i);
+  geom::Segment best = SampleSegment(&rng, domain, opts.query_length);
+  double best_blocked = set.BlockedIntervalsOnSegment(best).TotalLength();
+  for (int attempt = 0; attempt < opts.max_attempts && best_blocked > 0.0;
+       ++attempt) {
+    const geom::Segment cand = SampleSegment(&rng, domain, opts.query_length);
+    const double blocked =
+        set.BlockedIntervalsOnSegment(cand).TotalLength();
+    if (blocked < best_blocked) {
+      best = cand;
+      best_blocked = blocked;
+    }
+  }
+  return best;
+}
+
+std::vector<geom::Segment> MakeWorkload(
+    size_t n, const geom::Rect& domain, const WorkloadOptions& opts,
+    const std::vector<geom::Rect>& obstacles, uint64_t seed) {
+  std::vector<geom::Segment> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(
+        RandomQuerySegment(domain, opts, obstacles, seed + 0x9E37 * (i + 1)));
+  }
+  return out;
+}
+
+}  // namespace datagen
+}  // namespace conn

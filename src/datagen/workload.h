@@ -1,0 +1,54 @@
+// Query workload generation (Section 5.1): "The starting point and the
+// orientation (in [0, 2pi)) of the query line segment are randomly
+// generated, while its length is controlled by the parameter ql."
+
+#ifndef CONN_DATAGEN_WORKLOAD_H_
+#define CONN_DATAGEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/segment.h"
+
+namespace conn {
+namespace datagen {
+
+/// Knobs for workload generation.
+struct WorkloadOptions {
+  /// Segment length in workspace units (ql% of the side => length =
+  /// ql/100 * 10000).
+  double query_length = 450.0;
+
+  /// When true, resample until the segment crosses no obstacle interior
+  /// (a trajectory a mover could actually follow).  When false (paper
+  /// behavior), segments may cross obstacles; the engine reports those
+  /// sub-intervals as unreachable.
+  bool avoid_obstacle_crossings = false;
+
+  /// Resampling budget for the two constraints above.
+  int max_attempts = 200;
+};
+
+/// Converts a ql percentage (e.g. 4.5) to a segment length in the
+/// [0,10000]^2 workspace.
+double QueryLengthFromPercent(double ql_percent);
+
+/// One random query segment fully inside \p domain.  If
+/// opts.avoid_obstacle_crossings is set, \p obstacles (may be empty) are
+/// avoided on a best-effort basis within opts.max_attempts.
+geom::Segment RandomQuerySegment(const geom::Rect& domain,
+                                 const WorkloadOptions& opts,
+                                 const std::vector<geom::Rect>& obstacles,
+                                 uint64_t seed);
+
+/// A batch of \p n random query segments.
+std::vector<geom::Segment> MakeWorkload(size_t n, const geom::Rect& domain,
+                                        const WorkloadOptions& opts,
+                                        const std::vector<geom::Rect>& obstacles,
+                                        uint64_t seed);
+
+}  // namespace datagen
+}  // namespace conn
+
+#endif  // CONN_DATAGEN_WORKLOAD_H_

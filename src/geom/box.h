@@ -1,0 +1,102 @@
+// Axis-aligned rectangle.  Used both as the obstacle shape (the paper assumes
+// rectangular obstacles, Section 1 footnote 1) and as the bounding box type
+// of R-tree entries.
+
+#ifndef CONN_GEOM_BOX_H_
+#define CONN_GEOM_BOX_H_
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.h"
+#include "geom/vec.h"
+
+namespace conn {
+namespace geom {
+
+/// Closed axis-aligned rectangle [lo.x, hi.x] x [lo.y, hi.y].
+/// Degenerate rectangles (points, horizontal/vertical segments) are valid.
+struct Rect {
+  Vec2 lo;
+  Vec2 hi;
+
+  constexpr Rect() = default;
+  constexpr Rect(Vec2 low, Vec2 high) : lo(low), hi(high) {}
+
+  /// Rectangle covering exactly one point.
+  static constexpr Rect FromPoint(Vec2 p) { return Rect(p, p); }
+
+  /// Smallest rectangle covering both corners, regardless of their order.
+  static constexpr Rect FromCorners(Vec2 a, Vec2 b) {
+    return Rect({std::min(a.x, b.x), std::min(a.y, b.y)},
+                {std::max(a.x, b.x), std::max(a.y, b.y)});
+  }
+
+  /// An "empty" rectangle that acts as the identity for ExpandedToCover.
+  static constexpr Rect Empty() {
+    return Rect({1e300, 1e300}, {-1e300, -1e300});
+  }
+
+  constexpr bool operator==(const Rect&) const = default;
+
+  constexpr bool IsValid() const { return lo.x <= hi.x && lo.y <= hi.y; }
+  constexpr double Width() const { return hi.x - lo.x; }
+  constexpr double Height() const { return hi.y - lo.y; }
+  constexpr double Area() const { return Width() * Height(); }
+  constexpr double Margin() const { return 2.0 * (Width() + Height()); }
+  constexpr Vec2 Center() const {
+    return {(lo.x + hi.x) * 0.5, (lo.y + hi.y) * 0.5};
+  }
+
+  /// True iff \p p lies in the closed rectangle.
+  constexpr bool Contains(Vec2 p) const {
+    return lo.x <= p.x && p.x <= hi.x && lo.y <= p.y && p.y <= hi.y;
+  }
+
+  /// True iff \p o lies entirely inside the closed rectangle.
+  constexpr bool Contains(const Rect& o) const {
+    return lo.x <= o.lo.x && o.hi.x <= hi.x && lo.y <= o.lo.y && o.hi.y <= hi.y;
+  }
+
+  /// True iff the closed rectangles share at least one point.
+  constexpr bool Intersects(const Rect& o) const {
+    return lo.x <= o.hi.x && o.lo.x <= hi.x && lo.y <= o.hi.y && o.lo.y <= hi.y;
+  }
+
+  /// Intersection rectangle; invalid (per IsValid) when disjoint.
+  constexpr Rect Intersection(const Rect& o) const {
+    return Rect({std::max(lo.x, o.lo.x), std::max(lo.y, o.lo.y)},
+                {std::min(hi.x, o.hi.x), std::min(hi.y, o.hi.y)});
+  }
+
+  /// Area of overlap with \p o (0 when disjoint).
+  constexpr double OverlapArea(const Rect& o) const {
+    const double w =
+        std::min(hi.x, o.hi.x) - std::max(lo.x, o.lo.x);
+    const double h =
+        std::min(hi.y, o.hi.y) - std::max(lo.y, o.lo.y);
+    return (w > 0 && h > 0) ? w * h : 0.0;
+  }
+
+  /// Smallest rectangle covering this one and \p o.
+  constexpr Rect ExpandedToCover(const Rect& o) const {
+    return Rect({std::min(lo.x, o.lo.x), std::min(lo.y, o.lo.y)},
+                {std::max(hi.x, o.hi.x), std::max(hi.y, o.hi.y)});
+  }
+
+  /// Smallest rectangle covering this one and point \p p.
+  constexpr Rect ExpandedToCover(Vec2 p) const {
+    return ExpandedToCover(Rect::FromPoint(p));
+  }
+
+  /// Corners in counter-clockwise order starting at lo.
+  std::array<Vec2, 4> Corners() const {
+    return {Vec2{lo.x, lo.y}, Vec2{hi.x, lo.y}, Vec2{hi.x, hi.y},
+            Vec2{lo.x, hi.y}};
+  }
+};
+
+}  // namespace geom
+}  // namespace conn
+
+#endif  // CONN_GEOM_BOX_H_

@@ -1,0 +1,166 @@
+#include "geom/curve.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "geom/quadratic.h"
+
+namespace conn {
+namespace geom {
+
+SegmentFrame::SegmentFrame(const Segment& q) : q_(q), length_(q.Length()) {
+  dir_ = (length_ > 0.0) ? q.Delta() / length_ : Vec2{1.0, 0.0};
+}
+
+double SegmentFrame::ProjectM(Vec2 p) const { return (p - q_.a).Dot(dir_); }
+
+double SegmentFrame::ProjectH(Vec2 p) const {
+  return std::abs(dir_.Cross(p - q_.a));
+}
+
+DistanceCurve DistanceCurve::FromControlPoint(const SegmentFrame& frame,
+                                              Vec2 cp, double offset) {
+  CONN_DCHECK(offset >= 0.0);
+  DistanceCurve c;
+  c.offset = offset;
+  c.m = frame.ProjectM(cp);
+  c.h = frame.ProjectH(cp);
+  return c;
+}
+
+double DistanceCurve::Eval(double t) const {
+  return offset + std::hypot(t - m, h);
+}
+
+double DistanceCurve::Derivative(double t) const {
+  const double r = std::hypot(t - m, h);
+  if (r == 0.0) return 0.0;
+  return (t - m) / r;
+}
+
+bool DistanceCurve::SameFunction(const DistanceCurve& o) const {
+  return std::abs(offset - o.offset) <= kEpsDist &&
+         std::abs(m - o.m) <= kEpsParam && std::abs(h - o.h) <= kEpsDist;
+}
+
+namespace {
+
+// g(t) = c1(t) - c2(t); crossings are the roots of g.
+double EvalDiff(const DistanceCurve& c1, const DistanceCurve& c2, double t) {
+  return c1.Eval(t) - c2.Eval(t);
+}
+
+// Polishes a root of g with Newton iterations, falling back to bisection on
+// a sign-changing bracket around the candidate when Newton stalls (e.g. at
+// near-tangential crossings where g' ~ 0).
+double NewtonPolish(const DistanceCurve& c1, const DistanceCurve& c2,
+                    double t0) {
+  double t = t0;
+  double best_t = t0;
+  double best_g = std::abs(EvalDiff(c1, c2, t0));
+  for (int iter = 0; iter < 30 && best_g > 1e-13; ++iter) {
+    const double g = EvalDiff(c1, c2, t);
+    const double dg = c1.Derivative(t) - c2.Derivative(t);
+    if (std::abs(dg) < 1e-14) break;
+    t -= g / dg;
+    if (!std::isfinite(t)) break;
+    const double ag = std::abs(EvalDiff(c1, c2, t));
+    if (ag < best_g) {
+      best_g = ag;
+      best_t = t;
+    } else {
+      break;
+    }
+  }
+  if (best_g <= 1e-10) return best_t;
+
+  // Bisection fallback: search for a sign-changing bracket around t0 with
+  // geometrically growing radius, then bisect to machine precision.
+  const double g0 = EvalDiff(c1, c2, best_t);
+  double radius = 1e-6 * (1.0 + std::abs(best_t));
+  for (int grow = 0; grow < 40; ++grow, radius *= 2.0) {
+    for (const double side : {-1.0, 1.0}) {
+      const double tb = best_t + side * radius;
+      const double gb = EvalDiff(c1, c2, tb);
+      if (g0 * gb >= 0.0) continue;
+      double lo = std::min(best_t, tb), hi = std::max(best_t, tb);
+      double glo = EvalDiff(c1, c2, lo);
+      for (int i = 0; i < 80; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        const double gm = EvalDiff(c1, c2, mid);
+        if (glo * gm <= 0.0) {
+          hi = mid;
+        } else {
+          lo = mid;
+          glo = gm;
+        }
+      }
+      return 0.5 * (lo + hi);
+    }
+  }
+  return best_t;  // no bracket: tangential touch; best effort
+}
+
+}  // namespace
+
+std::vector<double> CurveCrossings(const DistanceCurve& c1,
+                                   const DistanceCurve& c2,
+                                   const Interval& domain) {
+  std::vector<double> out;
+  if (domain.IsEmpty()) return out;
+  if (c1.SameFunction(c2)) return out;  // identical: tie everywhere
+
+  // Derivation (squaring Equation (1) twice; see curve.h):
+  //   sqrt((t-m1)^2 + h1^2) - sqrt((t-m2)^2 + h2^2) = delta,
+  //   delta = c2.offset - c1.offset.
+  // Solved in coordinates centered between the two projections — the
+  // coefficients involve m^2 terms that cancel catastrophically when the
+  // projections are large, and centering keeps their magnitude at the
+  // *separation* scale instead of the absolute-position scale.
+  const double center = 0.5 * (c1.m + c2.m);
+  const double m1 = c1.m - center, h1 = c1.h;
+  const double m2 = c2.m - center, h2 = c2.h;
+  const double delta = c2.offset - c1.offset;
+  const double alpha = 2.0 * (m2 - m1);
+  const double beta = m1 * m1 + h1 * h1 - m2 * m2 - h2 * h2;
+
+  std::vector<double> candidates;
+  if (std::abs(delta) <= 1e-12) {
+    // Equal offsets: crossing where the radicands agree, alpha*t + beta = 0.
+    if (std::abs(alpha) > 1e-14) candidates.push_back(center - beta / alpha);
+  } else {
+    // (alpha*t + beta - delta^2)^2 = 4*delta^2*((t-m2)^2 + h2^2)
+    const double d2 = delta * delta;
+    const double qa = alpha * alpha - 4.0 * d2;
+    const double qb = 2.0 * alpha * (beta - d2) + 8.0 * d2 * m2;
+    const double qc =
+        (beta - d2) * (beta - d2) - 4.0 * d2 * (m2 * m2 + h2 * h2);
+    double roots[2];
+    const int n = SolveQuadratic(qa, qb, qc, roots);
+    for (int i = 0; i < n; ++i) candidates.push_back(center + roots[i]);
+  }
+
+  // Polish and validate (squaring introduces spurious roots with the wrong
+  // radical sign; the |g| check rejects them).
+  const double tol =
+      kEpsDist * (1.0 + std::abs(c1.offset) + std::abs(c2.offset));
+  const double slack = std::max(kEpsParam, 1e-9 * (1.0 + domain.Length()));
+  for (double cand : candidates) {
+    const double t = NewtonPolish(c1, c2, cand);
+    if (std::abs(EvalDiff(c1, c2, t)) > tol) continue;
+    if (t < domain.lo - slack || t > domain.hi + slack) continue;
+    out.push_back(std::clamp(t, domain.lo, domain.hi));
+  }
+  std::sort(out.begin(), out.end());
+  // Deduplicate near-coincident crossings (tangential double roots).
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](double a, double b) {
+                          return std::abs(a - b) <= kEpsParam;
+                        }),
+            out.end());
+  return out;
+}
+
+}  // namespace geom
+}  // namespace conn

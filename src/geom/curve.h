@@ -1,0 +1,87 @@
+// Distance curves along a query segment.
+//
+// Once a control point cp for a data point p over an interval R of the query
+// segment q is known (Definition 8), the obstructed distance from p to the
+// point q(t) is
+//
+//     f(t) = ||p, cp|| + dist(cp, q(t)) = offset + sqrt((t - m)^2 + h^2)
+//
+// where (m, h) are cp's coordinates in q's arc-length frame (projection
+// parameter m, unsigned perpendicular offset h) and offset = ||p, cp||.
+// That is exactly the function family of Equation (2) of the paper; a split
+// point (Definition 7) is a crossing of two such curves.  This header
+// provides the frame, the curve type, and a robust crossing solver
+// (quadratic + Newton polish + midpoint classification) that subsumes the
+// paper's Cases 1-4 including all degenerate configurations (a = 0, b = c,
+// b > c, h = 0).
+
+#ifndef CONN_GEOM_CURVE_H_
+#define CONN_GEOM_CURVE_H_
+
+#include <vector>
+
+#include "geom/interval.h"
+#include "geom/segment.h"
+#include "geom/vec.h"
+
+namespace conn {
+namespace geom {
+
+/// Arc-length coordinate frame of a query segment: origin at q.a, abscissa
+/// along q, ordinate perpendicular.  Maps 2-D points to (m, h) pairs.
+class SegmentFrame {
+ public:
+  /// Builds the frame of \p q.  Zero-length segments are allowed (the frame
+  /// maps every point to m = 0, h = dist(point, q.a)).
+  explicit SegmentFrame(const Segment& q);
+
+  const Segment& segment() const { return q_; }
+  double length() const { return length_; }
+
+  /// Projection parameter of \p p along the segment direction (unclamped).
+  double ProjectM(Vec2 p) const;
+
+  /// Unsigned perpendicular distance of \p p from the supporting line.
+  double ProjectH(Vec2 p) const;
+
+  /// Point at parameter t (clamped only by the caller).
+  Vec2 PointAt(double t) const { return q_.At(t); }
+
+ private:
+  Segment q_;
+  double length_;
+  Vec2 dir_;  // unit direction (arbitrary for zero-length segments)
+};
+
+/// A curve f(t) = offset + sqrt((t - m)^2 + h^2) over a segment frame.
+struct DistanceCurve {
+  double offset = 0.0;  ///< accumulated obstructed distance ||p, cp||
+  double m = 0.0;       ///< control point's projection parameter
+  double h = 0.0;       ///< control point's perpendicular offset (>= 0)
+
+  /// Builds the curve of control point \p cp with path prefix \p offset.
+  static DistanceCurve FromControlPoint(const SegmentFrame& frame, Vec2 cp,
+                                        double offset);
+
+  /// f(t).
+  double Eval(double t) const;
+
+  /// f'(t) (undefined at the kink t == m when h == 0; returns 0 there).
+  double Derivative(double t) const;
+
+  /// True iff the two curves are the same function (within tolerance).
+  bool SameFunction(const DistanceCurve& o) const;
+};
+
+/// All parameters t in \p domain where c1(t) == c2(t), in ascending order.
+///
+/// Identical curves return an empty vector (callers must treat ties via
+/// midpoint comparison).  Tangential touches report the touch point.
+std::vector<double> CurveCrossings(const DistanceCurve& c1,
+                                   const DistanceCurve& c2,
+                                   const Interval& domain);
+
+}  // namespace geom
+}  // namespace conn
+
+#endif  // CONN_GEOM_CURVE_H_

@@ -1,0 +1,61 @@
+#include "geom/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/predicates.h"
+
+namespace conn {
+namespace geom {
+
+double ClosestParamOnSegment(Vec2 p, const Segment& s) {
+  const double len = s.Length();
+  if (len == 0.0) return 0.0;
+  const double t = (p - s.a).Dot(s.Delta()) / len;
+  return std::clamp(t, 0.0, len);
+}
+
+double DistPointSegment(Vec2 p, const Segment& s) {
+  return Dist(p, s.At(ClosestParamOnSegment(p, s)));
+}
+
+double DistSegmentSegment(const Segment& s1, const Segment& s2) {
+  if (SegmentsIntersect(s1, s2)) return 0.0;
+  return std::min(
+      std::min(DistPointSegment(s1.a, s2), DistPointSegment(s1.b, s2)),
+      std::min(DistPointSegment(s2.a, s1), DistPointSegment(s2.b, s1)));
+}
+
+double MinDistRectPoint(const Rect& r, Vec2 p) {
+  const double dx = std::max({r.lo.x - p.x, 0.0, p.x - r.hi.x});
+  const double dy = std::max({r.lo.y - p.y, 0.0, p.y - r.hi.y});
+  return std::hypot(dx, dy);
+}
+
+double MinDistRectSegment(const Rect& r, const Segment& s) {
+  if (SegmentIntersectsRect(s, r)) return 0.0;
+  // Disjoint: the minimum is attained between the segment and one of the
+  // rectangle's edges (or corners, covered by edge endpoints).
+  const auto c = r.Corners();
+  double best = DistPointSegment(s.a, Segment(c[0], c[1]));
+  for (int i = 0; i < 4; ++i) {
+    const Segment edge(c[i], c[(i + 1) % 4]);
+    best = std::min(best, DistSegmentSegment(edge, s));
+  }
+  return best;
+}
+
+double MinDistRectRect(const Rect& a, const Rect& b) {
+  const double dx = std::max({a.lo.x - b.hi.x, 0.0, b.lo.x - a.hi.x});
+  const double dy = std::max({a.lo.y - b.hi.y, 0.0, b.lo.y - a.hi.y});
+  return std::hypot(dx, dy);
+}
+
+double MaxDistRectPoint(const Rect& r, Vec2 p) {
+  const double dx = std::max(std::abs(p.x - r.lo.x), std::abs(p.x - r.hi.x));
+  const double dy = std::max(std::abs(p.y - r.lo.y), std::abs(p.y - r.hi.y));
+  return std::hypot(dx, dy);
+}
+
+}  // namespace geom
+}  // namespace conn

@@ -1,0 +1,44 @@
+// Euclidean distance metrics between points, segments, and rectangles.
+//
+// MinDist(rect, segment) is the R-tree pruning metric of the paper: for an
+// R-tree node N and query segment q, mindist(N, q) lower-bounds the
+// (Euclidean, hence also obstructed) distance from any object in N to q.
+
+#ifndef CONN_GEOM_DISTANCE_H_
+#define CONN_GEOM_DISTANCE_H_
+
+#include "geom/box.h"
+#include "geom/segment.h"
+#include "geom/vec.h"
+
+namespace conn {
+namespace geom {
+
+/// Distance from point \p p to the closed segment \p s.
+double DistPointSegment(Vec2 p, const Segment& s);
+
+/// Arc-length parameter in [0, s.Length()] of the point of \p s closest to
+/// \p p (the clamped projection).
+double ClosestParamOnSegment(Vec2 p, const Segment& s);
+
+/// Minimum distance between two closed segments (0 when they intersect).
+double DistSegmentSegment(const Segment& s1, const Segment& s2);
+
+/// Minimum distance from the closed rectangle \p r to point \p p
+/// (0 when the rectangle contains the point).
+double MinDistRectPoint(const Rect& r, Vec2 p);
+
+/// Minimum distance from the closed rectangle \p r to segment \p s
+/// (0 when they intersect).  This is mindist(N, q) for R-tree traversal.
+double MinDistRectSegment(const Rect& r, const Segment& s);
+
+/// Minimum distance between two closed rectangles (0 when they intersect).
+double MinDistRectRect(const Rect& a, const Rect& b);
+
+/// Maximum distance from point \p p to any point of rectangle \p r.
+double MaxDistRectPoint(const Rect& r, Vec2 p);
+
+}  // namespace geom
+}  // namespace conn
+
+#endif  // CONN_GEOM_DISTANCE_H_

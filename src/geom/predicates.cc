@@ -1,0 +1,138 @@
+#include "geom/predicates.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace conn {
+namespace geom {
+
+int Orientation(Vec2 a, Vec2 b, Vec2 c, double eps) {
+  const double cross = (b - a).Cross(c - a);
+  if (cross > eps) return 1;
+  if (cross < -eps) return -1;
+  return 0;
+}
+
+namespace {
+
+// True iff p lies in the bounding box of [a, b] (used for the collinear
+// branch of the segment intersection test).
+bool OnBox(Vec2 p, Vec2 a, Vec2 b) {
+  return std::min(a.x, b.x) <= p.x && p.x <= std::max(a.x, b.x) &&
+         std::min(a.y, b.y) <= p.y && p.y <= std::max(a.y, b.y);
+}
+
+}  // namespace
+
+bool SegmentsIntersect(const Segment& s1, const Segment& s2) {
+  const Vec2 a = s1.a, b = s1.b, c = s2.a, d = s2.b;
+  const int o1 = Orientation(a, b, c);
+  const int o2 = Orientation(a, b, d);
+  const int o3 = Orientation(c, d, a);
+  const int o4 = Orientation(c, d, b);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && OnBox(c, a, b)) return true;
+  if (o2 == 0 && OnBox(d, a, b)) return true;
+  if (o3 == 0 && OnBox(a, c, d)) return true;
+  if (o4 == 0 && OnBox(b, c, d)) return true;
+  return false;
+}
+
+bool ClipSegmentToRect(const Segment& s, const Rect& r, double* t0,
+                       double* t1) {
+  // Liang-Barsky parametric clipping of s.a + t * (s.b - s.a), t in [0,1].
+  double tmin = 0.0, tmax = 1.0;
+  const Vec2 d = s.Delta();
+  const double p[4] = {-d.x, d.x, -d.y, d.y};
+  const double q[4] = {s.a.x - r.lo.x, r.hi.x - s.a.x, s.a.y - r.lo.y,
+                       r.hi.y - s.a.y};
+  for (int i = 0; i < 4; ++i) {
+    if (p[i] == 0.0) {
+      if (q[i] < 0.0) return false;  // parallel and outside this slab
+      continue;
+    }
+    const double t = q[i] / p[i];
+    if (p[i] < 0.0) {
+      tmin = std::max(tmin, t);
+    } else {
+      tmax = std::min(tmax, t);
+    }
+    if (tmin > tmax) return false;
+  }
+  *t0 = tmin;
+  *t1 = tmax;
+  return true;
+}
+
+bool SegmentIntersectsRect(const Segment& s, const Rect& r) {
+  double t0, t1;
+  return ClipSegmentToRect(s, r, &t0, &t1);
+}
+
+bool SegmentCrossesInterior(const Segment& s, const Rect& r, double eps) {
+  // Shrink the rectangle so boundary-grazing segments do not count.  A
+  // rectangle thinner than 2*eps has no interior under this policy.
+  const Rect inner{{r.lo.x + eps, r.lo.y + eps}, {r.hi.x - eps, r.hi.y - eps}};
+  if (!inner.IsValid()) return false;
+  double t0, t1;
+  if (!ClipSegmentToRect(s, inner, &t0, &t1)) return false;
+  // A single touching point (t0 == t1) can only happen at the shrunk box's
+  // corner; treat a degenerate overlap as non-blocking.
+  return t1 - t0 > 0.0;
+}
+
+bool PointInTriangle(Vec2 a, Vec2 b, Vec2 c, Vec2 p, double eps) {
+  const int o1 = Orientation(a, b, p, eps);
+  const int o2 = Orientation(b, c, p, eps);
+  const int o3 = Orientation(c, a, p, eps);
+  const bool has_pos = o1 > 0 || o2 > 0 || o3 > 0;
+  const bool has_neg = o1 < 0 || o2 < 0 || o3 < 0;
+  return !(has_pos && has_neg);
+}
+
+bool PointInInterior(Vec2 p, const Rect& r, double eps) {
+  return r.lo.x + eps < p.x && p.x < r.hi.x - eps && r.lo.y + eps < p.y &&
+         p.y < r.hi.y - eps;
+}
+
+bool TriangleIntersectsRect(Vec2 a, Vec2 b, Vec2 c, const Rect& r) {
+  // Separating-axis test.  Axis candidates: the rectangle's two axes and
+  // the three triangle edge normals.
+  const Vec2 tri[3] = {a, b, c};
+
+  // Rectangle axes: compare the triangle's bbox with r.
+  double tminx = a.x, tmaxx = a.x, tminy = a.y, tmaxy = a.y;
+  for (int i = 1; i < 3; ++i) {
+    tminx = std::min(tminx, tri[i].x);
+    tmaxx = std::max(tmaxx, tri[i].x);
+    tminy = std::min(tminy, tri[i].y);
+    tmaxy = std::max(tmaxy, tri[i].y);
+  }
+  if (tmaxx < r.lo.x || tminx > r.hi.x || tmaxy < r.lo.y || tminy > r.hi.y) {
+    return false;
+  }
+
+  // Triangle edge normals.
+  const auto corners = r.Corners();
+  for (int i = 0; i < 3; ++i) {
+    const Vec2 edge = tri[(i + 1) % 3] - tri[i];
+    const Vec2 normal = edge.Perp();
+    double tmin = 1e300, tmax = -1e300;
+    for (const Vec2& v : tri) {
+      const double d = normal.Dot(v);
+      tmin = std::min(tmin, d);
+      tmax = std::max(tmax, d);
+    }
+    double rmin = 1e300, rmax = -1e300;
+    for (const Vec2& v : corners) {
+      const double d = normal.Dot(v);
+      rmin = std::min(rmin, d);
+      rmax = std::max(rmax, d);
+    }
+    if (tmax < rmin || tmin > rmax) return false;
+  }
+  return true;
+}
+
+}  // namespace geom
+}  // namespace conn

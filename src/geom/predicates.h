@@ -1,0 +1,83 @@
+// Geometric predicates with a centralized epsilon policy.
+//
+// Visibility semantics (Definition 1 of the paper): two points see each other
+// iff the straight segment between them does not pass through the *open
+// interior* of any obstacle.  Grazing an obstacle edge or corner is allowed —
+// shortest obstructed paths routinely run along obstacle boundaries and bend
+// at corners.  Numerically this is implemented by shrinking the obstacle by
+// kEpsInterior before the crossing test, so obstacles thinner than
+// 2*kEpsInterior in either dimension never block (the data generators enforce
+// a minimum obstacle extent well above that).
+
+#ifndef CONN_GEOM_PREDICATES_H_
+#define CONN_GEOM_PREDICATES_H_
+
+#include "geom/box.h"
+#include "geom/segment.h"
+#include "geom/vec.h"
+
+namespace conn {
+namespace geom {
+
+/// Workspace scale the epsilons are calibrated for ([0, 10000]^2).
+inline constexpr double kWorkspaceSide = 10000.0;
+
+/// Tolerance for "on the boundary" in the visibility predicate.
+inline constexpr double kEpsInterior = 1e-7;
+
+/// Tolerance for comparing distances / curve values (workspace units).
+inline constexpr double kEpsDist = 1e-6;
+
+/// Tolerance for comparing arc-length parameters along a query segment.
+inline constexpr double kEpsParam = 1e-7;
+
+/// Result-list slivers below this arc length are absorbed into a
+/// neighboring interval.  Interval endpoints are only accurate to ~kEpsParam
+/// (region boundaries, curve crossings), so partitions can be left with
+/// few-eps leftovers whose value never gets set; an unset leftover would
+/// keep the Lemma 2 termination bound at +infinity forever.  At 1e-9 of the
+/// workspace scale, absorbing them is far below meaningful resolution.
+inline constexpr double kEpsSliver = 1e-5;
+
+/// Sign of the orientation of the triple (a, b, c):
+/// +1 counter-clockwise, -1 clockwise, 0 collinear within \p eps
+/// (eps is an absolute area threshold).
+int Orientation(Vec2 a, Vec2 b, Vec2 c, double eps = 1e-9);
+
+/// True iff closed segments [a,b] and [c,d] share at least one point.
+bool SegmentsIntersect(const Segment& s1, const Segment& s2);
+
+/// True iff segment \p s intersects the closed rectangle \p r.
+bool SegmentIntersectsRect(const Segment& s, const Rect& r);
+
+/// True iff segment \p s passes through the open interior of rectangle
+/// \p r (interior shrunk by \p eps; see file comment for semantics).
+/// This is THE visibility-blocking predicate.
+bool SegmentCrossesInterior(const Segment& s, const Rect& r,
+                            double eps = kEpsInterior);
+
+/// True iff \p p lies strictly inside \p r (at depth > eps from every edge).
+bool PointInInterior(Vec2 p, const Rect& r, double eps = kEpsInterior);
+
+/// Clips segment \p s to the closed rectangle \p r (Liang-Barsky).  Returns
+/// false when disjoint; otherwise [*t0, *t1] is the sub-range of the
+/// segment's [0,1] parameter inside the rectangle (t0 <= t1; equality means
+/// the intersection is a single point).
+bool ClipSegmentToRect(const Segment& s, const Rect& r, double* t0,
+                       double* t1);
+
+/// True iff \p p lies inside or on the boundary (within \p eps area
+/// tolerance) of triangle (a, b, c); vertex order may be either winding.
+/// Used by the Lemma 6 control-point refinement.
+bool PointInTriangle(Vec2 a, Vec2 b, Vec2 c, Vec2 p, double eps = 1e-9);
+
+/// True iff the closed triangle (a, b, c) and the closed rectangle \p r
+/// share at least one point (separating-axis test).  Used to filter the
+/// obstacles that can possibly shadow a segment from a viewpoint: only
+/// those meeting the triangle (viewpoint, q.a, q.b) matter.
+bool TriangleIntersectsRect(Vec2 a, Vec2 b, Vec2 c, const Rect& r);
+
+}  // namespace geom
+}  // namespace conn
+
+#endif  // CONN_GEOM_PREDICATES_H_

@@ -1,0 +1,47 @@
+#include "geom/quadratic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace conn {
+namespace geom {
+
+int SolveQuadratic(double a, double b, double c, double roots[2]) {
+  const double scale = std::max({std::abs(a), std::abs(b), std::abs(c)});
+  if (scale == 0.0) return 0;  // 0 == 0: identically zero, handled by caller
+
+  // Degenerate to linear when the quadratic term is negligible relative to
+  // the other coefficients.
+  if (std::abs(a) <= 1e-14 * scale) {
+    if (std::abs(b) <= 1e-14 * scale) return 0;  // constant, no roots
+    roots[0] = -c / b;
+    return 1;
+  }
+
+  double disc = b * b - 4.0 * a * c;
+  const double disc_scale = std::max(b * b, std::abs(4.0 * a * c));
+  if (disc < 0.0) {
+    // Treat a barely-negative discriminant as a tangential double root.
+    if (disc >= -1e-12 * disc_scale) disc = 0.0;
+    else return 0;
+  }
+
+  const double sqrt_disc = std::sqrt(disc);
+  // Citardauq: compute the root that does not suffer cancellation first.
+  const double q = -0.5 * (b + (b >= 0.0 ? sqrt_disc : -sqrt_disc));
+  double r0, r1;
+  if (q != 0.0) {
+    r0 = q / a;
+    r1 = c / q;
+  } else {
+    // b == 0 and disc == 0  =>  both roots are 0.
+    r0 = r1 = 0.0;
+  }
+  if (r0 > r1) std::swap(r0, r1);
+  roots[0] = r0;
+  roots[1] = r1;
+  return (disc == 0.0) ? 1 : 2;
+}
+
+}  // namespace geom
+}  // namespace conn

@@ -1,0 +1,25 @@
+// Numerically stable quadratic equation solving.  The split-point machinery
+// of Section 3 (Theorem 1, Equation (1)) reduces curve crossings to the real
+// roots of a quadratic whose coefficients can nearly cancel; this solver uses
+// the Citardauq form to avoid catastrophic cancellation.
+
+#ifndef CONN_GEOM_QUADRATIC_H_
+#define CONN_GEOM_QUADRATIC_H_
+
+namespace conn {
+namespace geom {
+
+/// Solves a*x^2 + b*x + c = 0 over the reals.
+///
+/// Returns the number of real roots (0, 1, or 2) and writes them to
+/// \p roots in ascending order.  Near-zero leading coefficients degrade
+/// gracefully to the linear case; a discriminant within a small negative
+/// tolerance of zero is treated as a double root.  The degenerate identity
+/// 0 == 0 (all coefficients ~0) reports 0 roots — callers treat "equal
+/// everywhere" separately.
+int SolveQuadratic(double a, double b, double c, double roots[2]);
+
+}  // namespace geom
+}  // namespace conn
+
+#endif  // CONN_GEOM_QUADRATIC_H_

@@ -1,0 +1,64 @@
+// Line segment with arc-length parameterization.  The CONN query segment
+// q = [S, E] is a Segment; positions along q are expressed as arc-length
+// parameters t in [0, Length()], matching the paper's coordinate setup in
+// Figure 4(a).
+
+#ifndef CONN_GEOM_SEGMENT_H_
+#define CONN_GEOM_SEGMENT_H_
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "geom/box.h"
+#include "geom/vec.h"
+
+namespace conn {
+namespace geom {
+
+/// Directed line segment from a to b.
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  constexpr Segment() = default;
+  constexpr Segment(Vec2 start, Vec2 end) : a(start), b(end) {}
+
+  constexpr bool operator==(const Segment&) const = default;
+
+  double Length() const { return Dist(a, b); }
+  constexpr Vec2 Delta() const { return b - a; }
+
+  /// Point at arc-length parameter t in [0, Length()].  A zero-length
+  /// segment returns its (unique) point for any t.
+  Vec2 At(double t) const {
+    const double len = Length();
+    if (len == 0.0) return a;
+    return a + Delta() * (t / len);
+  }
+
+  /// Arc-length parameter of the projection of \p p onto the segment's
+  /// supporting line (may fall outside [0, Length()]).
+  double ProjectParam(Vec2 p) const {
+    const double len = Length();
+    if (len == 0.0) return 0.0;
+    return (p - a).Dot(Delta()) / len;
+  }
+
+  /// Unsigned distance from \p p to the supporting line.
+  double LineDistance(Vec2 p) const {
+    const double len = Length();
+    if (len == 0.0) return Dist(p, a);
+    return std::abs(Delta().Cross(p - a)) / len;
+  }
+
+  /// Tight bounding box.
+  Rect Bounds() const { return Rect::FromCorners(a, b); }
+
+  /// Segment with endpoints swapped.
+  constexpr Segment Reversed() const { return Segment(b, a); }
+};
+
+}  // namespace geom
+}  // namespace conn
+
+#endif  // CONN_GEOM_SEGMENT_H_

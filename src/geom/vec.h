@@ -1,0 +1,72 @@
+// 2-D point/vector type and elementary operations.
+//
+// Coordinates are doubles; the library's workspace is [0, 10000]^2 (the
+// paper's normalized search space), so absolute epsilons in predicates.h are
+// calibrated against that scale.
+
+#ifndef CONN_GEOM_VEC_H_
+#define CONN_GEOM_VEC_H_
+
+#include <cmath>
+
+namespace conn {
+namespace geom {
+
+/// A 2-D point or vector.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double px, double py) : x(px), y(py) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  /// Dot product.
+  constexpr double Dot(Vec2 o) const { return x * o.x + y * o.y; }
+
+  /// 2-D cross product (z-component of the 3-D cross product).
+  constexpr double Cross(Vec2 o) const { return x * o.y - y * o.x; }
+
+  /// Squared Euclidean norm.
+  constexpr double Norm2() const { return x * x + y * y; }
+
+  /// Euclidean norm.
+  double Norm() const { return std::sqrt(Norm2()); }
+
+  /// Unit vector in this direction; requires a nonzero norm.
+  Vec2 Normalized() const {
+    const double n = Norm();
+    return {x / n, y / n};
+  }
+
+  /// Counter-clockwise perpendicular.
+  constexpr Vec2 Perp() const { return {-y, x}; }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+/// Euclidean distance between two points (the paper's dist(p, p')).
+inline double Dist(Vec2 a, Vec2 b) { return (a - b).Norm(); }
+
+/// Squared Euclidean distance.
+constexpr double Dist2(Vec2 a, Vec2 b) { return (a - b).Norm2(); }
+
+}  // namespace geom
+}  // namespace conn
+
+#endif  // CONN_GEOM_VEC_H_

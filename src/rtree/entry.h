@@ -1,0 +1,73 @@
+// R-tree entry and object types.
+//
+// The tree stores opaque (rect, payload) pairs.  Leaf payloads encode an
+// object id plus its kind (data point vs obstacle) so a single unified tree
+// can index both sets, as required by the 1-tree variant of Section 4.5;
+// internal payloads hold child page ids.
+
+#ifndef CONN_RTREE_ENTRY_H_
+#define CONN_RTREE_ENTRY_H_
+
+#include <cstdint>
+
+#include "geom/box.h"
+#include "storage/page.h"
+
+namespace conn {
+namespace rtree {
+
+/// Identifier of an indexed object (index into the owner's object table).
+using ObjectId = uint64_t;
+
+/// What a leaf entry represents.  kPoint entries have degenerate rects.
+enum class ObjectKind : uint8_t {
+  kPoint = 0,     ///< data point of P
+  kObstacle = 1,  ///< rectangular obstacle of O
+};
+
+/// An object as seen by the tree's public API.
+struct DataObject {
+  geom::Rect rect;
+  ObjectId id = 0;
+  ObjectKind kind = ObjectKind::kPoint;
+
+  /// Convenience constructor for a data point.
+  static DataObject Point(geom::Vec2 p, ObjectId id) {
+    return {geom::Rect::FromPoint(p), id, ObjectKind::kPoint};
+  }
+
+  /// Convenience constructor for an obstacle rectangle.
+  static DataObject Obstacle(const geom::Rect& r, ObjectId id) {
+    return {r, id, ObjectKind::kObstacle};
+  }
+
+  /// Point location (center; exact for kPoint entries).
+  geom::Vec2 AsPoint() const { return rect.Center(); }
+};
+
+/// On-page entry: bounding rect + 64-bit payload.
+struct NodeEntry {
+  geom::Rect rect;
+  uint64_t payload = 0;
+
+  /// Leaf payload encoding: (id << 1) | kind.
+  static uint64_t EncodeLeaf(ObjectId id, ObjectKind kind) {
+    return (id << 1) | static_cast<uint64_t>(kind);
+  }
+  ObjectId DecodeId() const { return payload >> 1; }
+  ObjectKind DecodeKind() const {
+    return static_cast<ObjectKind>(payload & 1);
+  }
+  storage::PageId DecodeChild() const {
+    return static_cast<storage::PageId>(payload);
+  }
+
+  DataObject ToObject() const { return {rect, DecodeId(), DecodeKind()}; }
+};
+
+static_assert(sizeof(NodeEntry) == 40, "on-page entry layout is 40 bytes");
+
+}  // namespace rtree
+}  // namespace conn
+
+#endif  // CONN_RTREE_ENTRY_H_

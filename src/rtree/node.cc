@@ -1,0 +1,40 @@
+#include "rtree/node.h"
+
+namespace conn {
+namespace rtree {
+
+geom::Rect Node::ComputeBounds() const {
+  geom::Rect r = geom::Rect::Empty();
+  for (const NodeEntry& e : entries) r = r.ExpandedToCover(e.rect);
+  return r;
+}
+
+void Node::ToPage(storage::Page* page) const {
+  CONN_CHECK_MSG(entries.size() <= kNodeCapacity,
+                 "serializing an overflowing node");
+  page->WriteAt<uint16_t>(0, level);
+  page->WriteAt<uint16_t>(2, static_cast<uint16_t>(entries.size()));
+  page->WriteAt<uint32_t>(4, 0);
+  size_t off = 8;
+  for (const NodeEntry& e : entries) {
+    page->WriteAt<NodeEntry>(off, e);
+    off += sizeof(NodeEntry);
+  }
+}
+
+Node Node::FromPage(const storage::Page& page) {
+  Node node;
+  node.level = page.ReadAt<uint16_t>(0);
+  const uint16_t count = page.ReadAt<uint16_t>(2);
+  CONN_CHECK_MSG(count <= kNodeCapacity, "corrupt node: count > capacity");
+  node.entries.reserve(count);
+  size_t off = 8;
+  for (uint16_t i = 0; i < count; ++i) {
+    node.entries.push_back(page.ReadAt<NodeEntry>(off));
+    off += sizeof(NodeEntry);
+  }
+  return node;
+}
+
+}  // namespace rtree
+}  // namespace conn

@@ -1,0 +1,57 @@
+// In-memory R-tree node and its 4 KB page serialization.
+//
+// Page layout:
+//   [0..2)   uint16 level      (0 = leaf)
+//   [2..4)   uint16 count
+//   [4..8)   uint32 reserved
+//   [8..)    count * NodeEntry (40 bytes each)
+//
+// Capacity: (4096 - 8) / 40 = 102 entries per node; R* minimum fill is 40%.
+
+#ifndef CONN_RTREE_NODE_H_
+#define CONN_RTREE_NODE_H_
+
+#include <vector>
+
+#include "common/check.h"
+#include "geom/box.h"
+#include "rtree/entry.h"
+#include "storage/page.h"
+
+namespace conn {
+namespace rtree {
+
+/// Maximum entries per node given the 4 KB page.
+inline constexpr size_t kNodeCapacity =
+    (storage::kPageSize - 8) / sizeof(NodeEntry);
+
+/// R* minimum fill (40% of capacity).
+inline constexpr size_t kNodeMinFill = kNodeCapacity * 2 / 5;
+
+/// Fraction of entries force-reinserted on first overflow (R*: 30%).
+inline constexpr size_t kReinsertCount = kNodeCapacity * 3 / 10;
+
+/// Deserialized node. `level` 0 means leaf; internal entries point to pages.
+class Node {
+ public:
+  uint16_t level = 0;
+  std::vector<NodeEntry> entries;
+
+  bool IsLeaf() const { return level == 0; }
+  size_t Count() const { return entries.size(); }
+  bool Overflowing() const { return entries.size() > kNodeCapacity; }
+
+  /// Tight bounding rectangle over all entries (Empty() if none).
+  geom::Rect ComputeBounds() const;
+
+  /// Serializes into a 4 KB page.  The node must not be overflowing.
+  void ToPage(storage::Page* page) const;
+
+  /// Deserializes from a page; validates the header.
+  static Node FromPage(const storage::Page& page);
+};
+
+}  // namespace rtree
+}  // namespace conn
+
+#endif  // CONN_RTREE_NODE_H_

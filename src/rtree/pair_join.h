@@ -1,0 +1,70 @@
+// Incremental distance join between two R-trees (Hjaltason & Samet,
+// SIGMOD 1998): streams object pairs (a, b) in ascending order of their
+// Euclidean distance, expanding node pairs best-first.
+//
+// This is the access-path substrate for the obstacle-aware join family of
+// Zhang et al. [31] (core/obstructed_join.h): Euclidean pair distance
+// lower-bounds obstructed pair distance, so consumers can cut the stream
+// at their join radius / current best.
+
+#ifndef CONN_RTREE_PAIR_JOIN_H_
+#define CONN_RTREE_PAIR_JOIN_H_
+
+#include <queue>
+#include <vector>
+
+#include "rtree/rstar_tree.h"
+
+namespace conn {
+namespace rtree {
+
+/// Incremental nearest-first stream of object pairs from two trees.
+class PairDistanceJoin {
+ public:
+  /// Starts the stream over \p tree_a x \p tree_b.  Both trees must
+  /// outlive the iterator and must not be modified during iteration.
+  PairDistanceJoin(const RStarTree& tree_a, const RStarTree& tree_b);
+
+  /// Minimum possible distance of any not-yet-returned pair (+infinity
+  /// when exhausted).  Expands node pairs as needed (counted I/O).
+  double PeekDist();
+
+  /// Retrieves the next pair and its Euclidean distance (ascending).
+  /// False when exhausted.
+  bool Next(DataObject* a, DataObject* b, double* dist);
+
+ private:
+  // Heap item: either a pair of subtrees, a subtree x object, or a pair of
+  // objects, keyed by the minimum distance between their rectangles.
+  struct Item {
+    double dist;
+    bool a_is_node;
+    bool b_is_node;
+    uint64_t a_payload;  // PageId or encoded leaf payload
+    uint64_t b_payload;
+    geom::Rect a_rect;
+    geom::Rect b_rect;
+
+    bool operator>(const Item& o) const {
+      if (dist != o.dist) return dist > o.dist;
+      if (a_payload != o.a_payload) return a_payload > o.a_payload;
+      return b_payload > o.b_payload;
+    }
+  };
+
+  /// Expands heap tops until the top is an object-object pair (or empty).
+  void EnsureTopIsPair();
+
+  /// Pushes the cross product of one side's children against the other
+  /// side's fixed item.
+  void PushChildren(const Item& top);
+
+  const RStarTree& tree_a_;
+  const RStarTree& tree_b_;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
+};
+
+}  // namespace rtree
+}  // namespace conn
+
+#endif  // CONN_RTREE_PAIR_JOIN_H_

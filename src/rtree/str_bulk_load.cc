@@ -1,0 +1,125 @@
+#include "rtree/str_bulk_load.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace conn {
+namespace rtree {
+
+/// Friend of RStarTree; assembles pages bottom-up.
+class StrBulkLoader {
+ public:
+  static StatusOr<RStarTree> Build(std::vector<DataObject> objects,
+                                   const BulkLoadOptions& options) {
+    if (options.fill_factor <= 0.0 || options.fill_factor > 1.0) {
+      return Status::InvalidArgument("fill_factor must be in (0, 1]");
+    }
+    RStarTree tree;  // starts with an (ultimately unused) empty root page
+    if (objects.empty()) return tree;
+
+    const size_t target = std::clamp<size_t>(
+        static_cast<size_t>(options.fill_factor * kNodeCapacity),
+        kNodeMinFill, kNodeCapacity);
+
+    std::vector<NodeEntry> level_entries;
+    level_entries.reserve(objects.size());
+    for (const DataObject& obj : objects) {
+      NodeEntry e;
+      e.rect = obj.rect;
+      e.payload = NodeEntry::EncodeLeaf(obj.id, obj.kind);
+      level_entries.push_back(e);
+    }
+
+    uint16_t level = 0;
+    while (true) {
+      if (level_entries.size() <= kNodeCapacity) {
+        // Single node: it becomes the root (exempt from the fill minimum).
+        Node root;
+        root.level = level;
+        root.entries = std::move(level_entries);
+        const storage::PageId root_id = tree.pager_.Allocate();
+        CONN_RETURN_IF_ERROR(tree.WriteNode(root_id, root));
+        tree.root_ = root_id;
+        tree.height_ = static_cast<size_t>(level) + 1;
+        tree.size_ = objects.size();
+        return tree;
+      }
+      std::vector<NodeEntry> upper;
+      CONN_RETURN_IF_ERROR(
+          PackLevel(&tree, level, target, &level_entries, &upper));
+      level_entries = std::move(upper);
+      ++level;
+    }
+  }
+
+ private:
+  /// Packs one level's entries into nodes using STR tiling; emits the
+  /// parent-level entries.  Every produced node's size lies in
+  /// [kNodeMinFill, kNodeCapacity].
+  static Status PackLevel(RStarTree* tree, uint16_t level, size_t target,
+                          std::vector<NodeEntry>* entries,
+                          std::vector<NodeEntry>* upper) {
+    const size_t n = entries->size();
+    // Node count g: near n/target, constrained so even distribution keeps
+    // every node within [min fill, capacity].
+    const size_t g_lo = (n + kNodeCapacity - 1) / kNodeCapacity;
+    const size_t g_hi = std::max<size_t>(1, n / kNodeMinFill);
+    size_t g = std::clamp((n + target - 1) / target, g_lo, g_hi);
+    CONN_CHECK_MSG(g >= 1 && g_lo <= g_hi, "infeasible STR packing");
+
+    // Even group sizes: `rem` groups of size base+1, the rest of size base.
+    const size_t base = n / g;
+    const size_t rem = n % g;
+    auto group_size = [&](size_t i) { return base + (i < rem ? 1 : 0); };
+
+    // Vertical slices of consecutive groups.
+    const size_t slices = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(g))));
+    const size_t groups_per_slice = (g + slices - 1) / slices;
+
+    std::sort(entries->begin(), entries->end(),
+              [](const NodeEntry& a, const NodeEntry& b) {
+                return a.rect.Center().x < b.rect.Center().x;
+              });
+
+    size_t group = 0;
+    size_t offset = 0;
+    while (group < g) {
+      const size_t slice_groups = std::min(groups_per_slice, g - group);
+      size_t slice_len = 0;
+      for (size_t k = 0; k < slice_groups; ++k) slice_len += group_size(group + k);
+      std::sort(entries->begin() + offset,
+                entries->begin() + offset + slice_len,
+                [](const NodeEntry& a, const NodeEntry& b) {
+                  return a.rect.Center().y < b.rect.Center().y;
+                });
+      size_t local = offset;
+      for (size_t k = 0; k < slice_groups; ++k) {
+        const size_t sz = group_size(group + k);
+        Node node;
+        node.level = level;
+        node.entries.assign(entries->begin() + local,
+                            entries->begin() + local + sz);
+        const storage::PageId id = tree->pager_.Allocate();
+        CONN_RETURN_IF_ERROR(tree->WriteNode(id, node));
+        NodeEntry parent;
+        parent.rect = node.ComputeBounds();
+        parent.payload = id;
+        upper->push_back(parent);
+        local += sz;
+      }
+      offset += slice_len;
+      group += slice_groups;
+    }
+    CONN_CHECK(offset == n);
+    return Status::OK();
+  }
+};
+
+StatusOr<RStarTree> StrBulkLoad(std::vector<DataObject> objects,
+                                const BulkLoadOptions& options) {
+  return StrBulkLoader::Build(std::move(objects), options);
+}
+
+}  // namespace rtree
+}  // namespace conn

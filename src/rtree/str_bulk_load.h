@@ -1,0 +1,35 @@
+// Sort-Tile-Recursive (STR) bulk loading (Leutenegger et al., ICDE 1997).
+//
+// Builds a packed R-tree bottom-up in O(n log n) — orders of magnitude
+// faster than repeated R* insertion for the paper-scale datasets (131,461
+// obstacles).  The fill factor defaults to 70% so page counts and fanout
+// resemble an insertion-built R*-tree, keeping the I/O experiments
+// comparable; tests also exercise 100% packing.
+
+#ifndef CONN_RTREE_STR_BULK_LOAD_H_
+#define CONN_RTREE_STR_BULK_LOAD_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "rtree/rstar_tree.h"
+
+namespace conn {
+namespace rtree {
+
+/// Options for STR bulk loading.
+struct BulkLoadOptions {
+  /// Target node occupancy in (0, 1]; entries per node =
+  /// max(kNodeMinFill, fill_factor * kNodeCapacity).
+  double fill_factor = 0.7;
+};
+
+/// Builds an R-tree over \p objects by STR packing.  The returned tree
+/// supports all RStarTree operations (later inserts/deletes included).
+StatusOr<RStarTree> StrBulkLoad(std::vector<DataObject> objects,
+                                const BulkLoadOptions& options = {});
+
+}  // namespace rtree
+}  // namespace conn
+
+#endif  // CONN_RTREE_STR_BULK_LOAD_H_

@@ -1,0 +1,52 @@
+// Fixed-size page abstraction.  The paper fixes the R-tree page size at
+// 4 KB (Section 5.1); I/O cost is measured in page faults against this unit.
+
+#ifndef CONN_STORAGE_PAGE_H_
+#define CONN_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace conn {
+namespace storage {
+
+/// Page size in bytes (paper: "page size fixed at 4KB").
+inline constexpr size_t kPageSize = 4096;
+
+/// Identifier of a page within a PageFile.
+using PageId = uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = UINT32_MAX;
+
+/// A raw 4 KB page.
+struct Page {
+  std::array<uint8_t, kPageSize> bytes{};
+
+  uint8_t* data() { return bytes.data(); }
+  const uint8_t* data() const { return bytes.data(); }
+
+  /// Typed read at byte offset; bounds-checked in debug builds.
+  template <typename T>
+  T ReadAt(size_t offset) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    std::memcpy(&value, bytes.data() + offset, sizeof(T));
+    return value;
+  }
+
+  /// Typed write at byte offset; bounds-checked in debug builds.
+  template <typename T>
+  void WriteAt(size_t offset, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::memcpy(bytes.data() + offset, &value, sizeof(T));
+  }
+};
+
+static_assert(sizeof(Page) == kPageSize);
+
+}  // namespace storage
+}  // namespace conn
+
+#endif  // CONN_STORAGE_PAGE_H_

@@ -1,0 +1,32 @@
+#include "storage/page_file.h"
+
+namespace conn {
+namespace storage {
+
+PageId PageFile::Allocate() {
+  pages_.push_back(std::make_unique<Page>());
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status PageFile::Read(PageId id, Page* out) const {
+  if (id >= pages_.size()) {
+    return Status::NotFound("PageFile::Read: page " + std::to_string(id) +
+                            " not allocated");
+  }
+  ++device_reads_;
+  *out = *pages_[id];
+  return Status::OK();
+}
+
+Status PageFile::Write(PageId id, const Page& page) {
+  if (id >= pages_.size()) {
+    return Status::NotFound("PageFile::Write: page " + std::to_string(id) +
+                            " not allocated");
+  }
+  ++device_writes_;
+  *pages_[id] = page;
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace conn

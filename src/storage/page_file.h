@@ -1,0 +1,58 @@
+// In-memory simulated disk: an append-allocated array of 4 KB pages.
+//
+// The experiments of Section 5 measure I/O as the number of page accesses
+// under a cost model (10 ms per fault), not wall-clock disk latency, so the
+// backing store can safely live in RAM while the Pager (pager.h) provides
+// the fault accounting and the LRU buffer in front of it.
+
+#ifndef CONN_STORAGE_PAGE_FILE_H_
+#define CONN_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace conn {
+namespace storage {
+
+/// Append-allocated page store with read/write by PageId.
+class PageFile {
+ public:
+  PageFile() = default;
+
+  // Non-copyable (identity semantics, like a file handle).
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+  PageFile(PageFile&&) = default;
+  PageFile& operator=(PageFile&&) = default;
+
+  /// Allocates a zeroed page and returns its id.
+  PageId Allocate();
+
+  /// Number of allocated pages.
+  size_t PageCount() const { return pages_.size(); }
+
+  /// Copies page \p id into \p out.  NotFound for unallocated ids.
+  Status Read(PageId id, Page* out) const;
+
+  /// Overwrites page \p id.  NotFound for unallocated ids.
+  Status Write(PageId id, const Page& page);
+
+  /// Raw device-level counters (all accesses, buffered or not).
+  uint64_t device_reads() const { return device_reads_; }
+  uint64_t device_writes() const { return device_writes_; }
+
+ private:
+  // unique_ptr keeps Page addresses stable and avoids 4 KB moves on growth.
+  std::vector<std::unique_ptr<Page>> pages_;
+  mutable uint64_t device_reads_ = 0;  // Read() is logically const
+  uint64_t device_writes_ = 0;
+};
+
+}  // namespace storage
+}  // namespace conn
+
+#endif  // CONN_STORAGE_PAGE_FILE_H_

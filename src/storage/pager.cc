@@ -1,0 +1,24 @@
+#include "storage/pager.h"
+
+namespace conn {
+namespace storage {
+
+Status Pager::Read(PageId id, Page* out) {
+  if (buffer_.Get(id, out)) {
+    ++hits_;
+    return Status::OK();
+  }
+  CONN_RETURN_IF_ERROR(file_.Read(id, out));
+  ++faults_;
+  buffer_.Put(id, *out);
+  return Status::OK();
+}
+
+Status Pager::Write(PageId id, const Page& page) {
+  CONN_RETURN_IF_ERROR(file_.Write(id, page));
+  buffer_.Put(id, page);
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace conn

@@ -1,0 +1,62 @@
+// Pager: the access path every R-tree node read goes through.  Combines the
+// simulated disk (PageFile) with an optional LRU buffer and maintains the
+// fault/hit counters that drive the paper's I/O metric (10 ms per fault).
+
+#ifndef CONN_STORAGE_PAGER_H_
+#define CONN_STORAGE_PAGER_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/lru_buffer.h"
+#include "storage/page_file.h"
+
+namespace conn {
+namespace storage {
+
+/// Buffered page accessor with fault accounting.
+class Pager {
+ public:
+  Pager() = default;
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+  Pager(Pager&&) = default;
+  Pager& operator=(Pager&&) = default;
+
+  /// Allocates a fresh zeroed page on the underlying file.
+  PageId Allocate() { return file_.Allocate(); }
+
+  /// Number of pages in the underlying file (the "tree size" in pages).
+  size_t PageCount() const { return file_.PageCount(); }
+
+  /// Reads page \p id through the buffer.  A miss counts one fault.
+  Status Read(PageId id, Page* out);
+
+  /// Writes page \p id through to the file and refreshes the buffer.
+  Status Write(PageId id, const Page& page);
+
+  /// Sets the LRU buffer capacity in pages (0 disables buffering, the
+  /// default configuration of the paper's experiments).
+  void SetBufferCapacity(size_t pages) { buffer_.SetCapacity(pages); }
+
+  /// Drops buffered pages without changing capacity.
+  void ClearBuffer() { buffer_.Clear(); }
+
+  /// Page faults (buffer misses) since construction.
+  uint64_t faults() const { return faults_; }
+
+  /// Buffer hits since construction.
+  uint64_t hits() const { return hits_; }
+
+ private:
+  PageFile file_;
+  LruBuffer buffer_;
+  uint64_t faults_ = 0;
+  uint64_t hits_ = 0;
+};
+
+}  // namespace storage
+}  // namespace conn
+
+#endif  // CONN_STORAGE_PAGER_H_

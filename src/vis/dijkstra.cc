@@ -1,0 +1,132 @@
+#include "vis/dijkstra.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace conn {
+namespace vis {
+
+DijkstraScan::DijkstraScan(VisGraph* graph, geom::Vec2 source)
+    : graph_(graph), source_(source) {
+  const size_t n = graph->VertexCount();
+  dist_.assign(n, kInf);
+  pred_.assign(n, kPredNone);
+  settled_.assign(n, false);
+  // Defer the source's sight-line tests: vertices are seeded lazily in
+  // ascending Euclidean distance as the settlement frontier reaches them.
+  seed_order_.reserve(n);
+  for (VertexId v = 0; v < n; ++v) {
+    seed_order_.emplace_back(geom::Dist(source, graph->VertexPos(v)), v);
+  }
+  std::sort(seed_order_.begin(), seed_order_.end());
+}
+
+void DijkstraScan::SeedUpTo(double bound) {
+  while (seed_next_ < seed_order_.size() &&
+         seed_order_[seed_next_].first <= bound) {
+    const auto [euclid, v] = seed_order_[seed_next_++];
+    if (euclid <= geom::kEpsDist) {
+      // Source coincides with the vertex: trivially reachable.
+      Push(v, euclid, kPredSource);
+      continue;
+    }
+    const geom::Vec2 pos = graph_->VertexPos(v);
+    if (graph_->DirectionEntersCorner(v, source_ - pos)) continue;
+    if (graph_->Visible(source_, pos)) {
+      Push(v, euclid, kPredSource);
+    }
+  }
+}
+
+void DijkstraScan::Push(VertexId v, double dist, int32_t pred) {
+  if (dist < dist_[v]) {
+    dist_[v] = dist;
+    pred_[v] = pred;
+    heap_.push({dist, v});
+  }
+}
+
+namespace {
+// Forward declaration helper is unnecessary; logic lives in PrepareTop.
+}  // namespace
+
+bool DijkstraScan::PrepareTop() {
+  while (true) {
+    while (!heap_.empty() && settled_[heap_.top().v]) heap_.pop();
+    if (heap_.empty()) {
+      if (seed_next_ >= seed_order_.size()) return false;
+      SeedUpTo(seed_order_[seed_next_].first);
+      continue;
+    }
+    // Invariant: before settling at distance D, every vertex whose direct
+    // source edge could be shorter (euclid <= D) must have been seeded.
+    if (seed_next_ < seed_order_.size() &&
+        seed_order_[seed_next_].first <= heap_.top().dist) {
+      SeedUpTo(heap_.top().dist);
+      continue;
+    }
+    return true;
+  }
+}
+
+double DijkstraScan::PeekDist() {
+  if (next_cursor_ < log_.size()) return log_[next_cursor_].dist;
+  if (!PrepareTop()) return kInf;
+  return heap_.top().dist;
+}
+
+bool DijkstraScan::SettleOne() {
+  if (!PrepareTop()) return false;
+  const Item top = heap_.top();
+  heap_.pop();
+  settled_[top.v] = true;
+  ++settled_count_;
+  for (const VisEdge& e : graph_->Neighbors(top.v)) {
+    if (!settled_[e.to]) {
+      Push(e.to, top.dist + e.length, static_cast<int32_t>(top.v));
+    }
+  }
+  log_.push_back({top.v, top.dist, pred_[top.v]});
+  return true;
+}
+
+bool DijkstraScan::EnsureSettled(size_t i) {
+  while (log_.size() <= i) {
+    if (!SettleOne()) return false;
+  }
+  return true;
+}
+
+bool DijkstraScan::Next(VertexId* v, double* dist, int32_t* pred) {
+  if (!EnsureSettled(next_cursor_)) return false;
+  const Settled& entry = log_[next_cursor_++];
+  *v = entry.v;
+  *dist = entry.dist;
+  *pred = entry.pred;
+  return true;
+}
+
+double DijkstraScan::SettleTargets(const std::vector<VertexId>& targets) {
+  size_t remaining = 0;
+  for (VertexId t : targets) {
+    CONN_CHECK(t < settled_.size());
+    if (!settled_[t]) ++remaining;
+  }
+  VertexId v;
+  double d;
+  int32_t pred;
+  while (remaining > 0 && Next(&v, &d, &pred)) {
+    if (std::find(targets.begin(), targets.end(), v) != targets.end()) {
+      --remaining;
+    }
+  }
+  double max_dist = 0.0;
+  for (VertexId t : targets) {
+    max_dist = std::max(max_dist, DistOf(t));
+  }
+  return max_dist;
+}
+
+}  // namespace vis
+}  // namespace conn

@@ -1,0 +1,133 @@
+// Dijkstra shortest paths over a local visibility graph, from a transient
+// source point (the data point p currently being evaluated).
+//
+// The source is deliberately NOT inserted as a graph vertex: CONN evaluates
+// a fresh data point p for every heap pop (Algorithm 4 lines 6/9 insert and
+// remove p), and keeping p out of the vertex set means the per-epoch
+// adjacency cache of the persistent vertices stays valid across data points.
+//
+// DijkstraScan is incremental — CPLC (Algorithm 2) consumes vertices in
+// ascending obstructed distance ||p, v|| and stops at CPLMAX (Lemma 7), so
+// the scan settles only what the caller demands.
+
+#ifndef CONN_VIS_DIJKSTRA_H_
+#define CONN_VIS_DIJKSTRA_H_
+
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "vis/vis_graph.h"
+
+namespace conn {
+namespace vis {
+
+/// Sentinel predecessor meaning "the transient source point".
+inline constexpr int32_t kPredSource = -2;
+
+/// Sentinel predecessor meaning "not reached".
+inline constexpr int32_t kPredNone = -1;
+
+/// Incremental single-source shortest-path scan.
+///
+/// Settled vertices are logged, so one scan can serve several consumers:
+/// IOR settles up to its target bound via Next()/SettleTargets(), and CPLC
+/// later replays the same settlement order from the beginning through
+/// EnsureSettled()/log() and extends it on demand — no re-seeding.
+class DijkstraScan {
+ public:
+  /// One settled vertex in settlement (ascending distance) order.
+  struct Settled {
+    VertexId v;
+    double dist;
+    int32_t pred;  // kPredSource or a vertex id
+  };
+
+  /// Starts a scan from \p source over \p graph.  The graph must not gain
+  /// obstacles while the scan is alive.
+  DijkstraScan(VisGraph* graph, geom::Vec2 source);
+
+  /// The source location this scan was seeded from.
+  geom::Vec2 source() const { return source_; }
+
+  /// Settles and returns the next vertex in ascending distance order.
+  /// \p pred receives kPredSource when the shortest path is the direct
+  /// sight-line from the source.  Returns false when no vertex remains
+  /// reachable.
+  bool Next(VertexId* v, double* dist, int32_t* pred);
+
+  /// Ensures at least \p i + 1 vertices are settled; false when the graph
+  /// is exhausted first.
+  bool EnsureSettled(size_t i);
+
+  /// Settlement log (grows as the scan advances).
+  const std::vector<Settled>& log() const { return log_; }
+
+  /// Distance of the next vertex to be settled (+infinity if none).
+  double PeekDist();
+
+  /// Settled distance of \p v (+infinity while unsettled/unreachable).
+  double DistOf(VertexId v) const {
+    return settled_[v] ? dist_[v] : kInf;
+  }
+
+  bool IsSettled(VertexId v) const { return settled_[v]; }
+
+  /// Predecessor of a settled vertex (kPredSource / vertex id).
+  int32_t PredOf(VertexId v) const { return pred_[v]; }
+
+  /// Runs the scan until every id in \p targets is settled or the graph is
+  /// exhausted; returns the maximum target distance (+infinity when some
+  /// target is unreachable).
+  double SettleTargets(const std::vector<VertexId>& targets);
+
+  /// Number of vertices settled so far.
+  size_t SettledCount() const { return settled_count_; }
+
+ private:
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  void Push(VertexId v, double dist, int32_t pred);
+
+  /// Settles one more vertex into the log; false when exhausted.
+  bool SettleOne();
+
+  /// Pops stale heap entries and interleaves lazy seeding until the heap
+  /// top is the true next settlement; false when the scan is exhausted.
+  bool PrepareTop();
+
+  /// Seeds direct source->vertex edges for every vertex whose Euclidean
+  /// distance (a lower bound of its seed edge) is <= \p bound.  Lazy: a
+  /// scan terminated early by its caller (CPLMAX, IOR target bound) never
+  /// pays sight-line walks for vertices beyond its reach.
+  void SeedUpTo(double bound);
+
+  VisGraph* graph_;
+  geom::Vec2 source_;
+  std::vector<double> dist_;
+  std::vector<int32_t> pred_;
+  std::vector<bool> settled_;
+  size_t settled_count_ = 0;
+  std::vector<Settled> log_;
+  size_t next_cursor_ = 0;  // read position of Next() within the log
+
+  // Vertices in ascending Euclidean distance from the source; seed_next_
+  // marks how far seeding has progressed.
+  std::vector<std::pair<double, VertexId>> seed_order_;
+  size_t seed_next_ = 0;
+
+  struct Item {
+    double dist;
+    VertexId v;
+    bool operator>(const Item& o) const {
+      if (dist != o.dist) return dist > o.dist;
+      return v > o.v;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
+};
+
+}  // namespace vis
+}  // namespace conn
+
+#endif  // CONN_VIS_DIJKSTRA_H_

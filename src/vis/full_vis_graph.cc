@@ -1,0 +1,108 @@
+#include "vis/full_vis_graph.h"
+
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+#include "geom/predicates.h"
+
+namespace conn {
+namespace vis {
+
+FullVisGraph::FullVisGraph(std::vector<geom::Rect> obstacles)
+    : obstacles_(std::move(obstacles)) {
+  for (const geom::Rect& r : obstacles_) {
+    for (const geom::Vec2& c : r.Corners()) vertices_.push_back(c);
+  }
+}
+
+VertexId FullVisGraph::AddPoint(geom::Vec2 p) {
+  CONN_CHECK_MSG(!built_, "AddPoint after Build()");
+  vertices_.push_back(p);
+  return static_cast<VertexId>(vertices_.size() - 1);
+}
+
+bool FullVisGraph::Visible(geom::Vec2 a, geom::Vec2 b) const {
+  const geom::Segment sight(a, b);
+  for (const geom::Rect& r : obstacles_) {
+    if (geom::SegmentCrossesInterior(sight, r)) return false;
+  }
+  return true;
+}
+
+void FullVisGraph::Build() {
+  CONN_CHECK_MSG(!built_, "Build() called twice");
+  const size_t n = vertices_.size();
+  adj_.assign(n, {});
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = i + 1; j < n; ++j) {
+      const double len = geom::Dist(vertices_[i], vertices_[j]);
+      if (len <= geom::kEpsDist) continue;
+      if (Visible(vertices_[i], vertices_[j])) {
+        adj_[i].push_back({j, len});
+        adj_[j].push_back({i, len});
+      }
+    }
+  }
+  built_ = true;
+}
+
+std::vector<double> FullVisGraph::DistancesFromLocation(
+    geom::Vec2 source) const {
+  CONN_CHECK_MSG(built_, "DistancesFromLocation before Build()");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(vertices_.size(), kInf);
+  std::vector<bool> settled(vertices_.size(), false);
+  using Item = std::pair<double, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    if (Visible(source, vertices_[v])) {
+      dist[v] = geom::Dist(source, vertices_[v]);
+      heap.push({dist[v], v});
+    }
+  }
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (settled[v]) continue;
+    settled[v] = true;
+    for (const VisEdge& e : adj_[v]) {
+      if (!settled[e.to] && d + e.length < dist[e.to]) {
+        dist[e.to] = d + e.length;
+        heap.push({dist[e.to], e.to});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> FullVisGraph::DistancesFrom(VertexId src) const {
+  CONN_CHECK_MSG(built_, "DistancesFrom before Build()");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(vertices_.size(), kInf);
+  std::vector<bool> settled(vertices_.size(), false);
+  using Item = std::pair<double, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[src] = 0.0;
+  heap.push({0.0, src});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (settled[v]) continue;
+    settled[v] = true;
+    for (const VisEdge& e : adj_[v]) {
+      if (!settled[e.to] && d + e.length < dist[e.to]) {
+        dist[e.to] = d + e.length;
+        heap.push({dist[e.to], e.to});
+      }
+    }
+  }
+  return dist;
+}
+
+double FullVisGraph::Distance(VertexId src, VertexId dst) const {
+  return DistancesFrom(src)[dst];
+}
+
+}  // namespace vis
+}  // namespace conn

@@ -1,0 +1,95 @@
+#include "vis/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace conn {
+namespace vis {
+
+GridIndex::GridIndex(const geom::Rect& domain, int cells_per_side)
+    : domain_(domain), n_(cells_per_side) {
+  CONN_CHECK_MSG(cells_per_side >= 1, "grid needs at least one cell");
+  CONN_CHECK_MSG(domain.IsValid(), "grid domain must be a valid rect");
+  cell_w_ = std::max(domain_.Width() / n_, 1e-12);
+  cell_h_ = std::max(domain_.Height() / n_, 1e-12);
+  cells_.resize(static_cast<size_t>(n_) * n_);
+}
+
+int GridIndex::ClampCellX(double x) const {
+  const int c = static_cast<int>(std::floor((x - domain_.lo.x) / cell_w_));
+  return std::clamp(c, 0, n_ - 1);
+}
+
+int GridIndex::ClampCellY(double y) const {
+  const int c = static_cast<int>(std::floor((y - domain_.lo.y) / cell_h_));
+  return std::clamp(c, 0, n_ - 1);
+}
+
+void GridIndex::Insert(uint32_t item, const geom::Rect& rect) {
+  CONN_CHECK_MSG(item == item_count_, "grid items must be inserted densely");
+  ++item_count_;
+  stamp_.push_back(0);
+  const int x0 = ClampCellX(rect.lo.x), x1 = ClampCellX(rect.hi.x);
+  const int y0 = ClampCellY(rect.lo.y), y1 = ClampCellY(rect.hi.y);
+  for (int cy = y0; cy <= y1; ++cy) {
+    for (int cx = x0; cx <= x1; ++cx) CellAt(cx, cy).push_back(item);
+  }
+}
+
+void GridIndex::BeginQuery() const { ++epoch_; }
+
+void GridIndex::EmitCell(int cx, int cy, std::vector<uint32_t>* out) const {
+  for (uint32_t item : CellAt(cx, cy)) {
+    if (stamp_[item] == epoch_) continue;
+    stamp_[item] = epoch_;
+    out->push_back(item);
+  }
+}
+
+void GridIndex::CandidatesAlongSegment(const geom::Segment& s,
+                                       std::vector<uint32_t>* out) const {
+  BeginQuery();
+  // Conservative DDA: walk the segment in steps of half the smaller cell
+  // extent and emit a 1-cell neighborhood around every visited cell.  This
+  // over-approximates the exact Amanatides-Woo traversal slightly but can
+  // never miss a cell the segment passes through.
+  const double len = s.Length();
+  const double step = 0.5 * std::min(cell_w_, cell_h_);
+  const int steps = std::max(1, static_cast<int>(std::ceil(len / step)));
+  int last_cx = -2, last_cy = -2;
+  for (int i = 0; i <= steps; ++i) {
+    const geom::Vec2 p = s.At(len * i / steps);
+    const int cx = ClampCellX(p.x), cy = ClampCellY(p.y);
+    if (cx == last_cx && cy == last_cy) continue;
+    last_cx = cx;
+    last_cy = cy;
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int x = cx + dx, y = cy + dy;
+        if (x < 0 || x >= n_ || y < 0 || y >= n_) continue;
+        EmitCell(x, y, out);
+      }
+    }
+  }
+}
+
+void GridIndex::CandidatesInRect(const geom::Rect& r,
+                                 std::vector<uint32_t>* out) const {
+  BeginQuery();
+  const int x0 = ClampCellX(r.lo.x), x1 = ClampCellX(r.hi.x);
+  const int y0 = ClampCellY(r.lo.y), y1 = ClampCellY(r.hi.y);
+  for (int cy = y0; cy <= y1; ++cy) {
+    for (int cx = x0; cx <= x1; ++cx) EmitCell(cx, cy, out);
+  }
+}
+
+void GridIndex::CandidatesAtPoint(geom::Vec2 p,
+                                  std::vector<uint32_t>* out) const {
+  BeginQuery();
+  EmitCell(ClampCellX(p.x), ClampCellY(p.y), out);
+}
+
+}  // namespace vis
+}  // namespace conn

@@ -1,0 +1,109 @@
+// Uniform grid over the workspace for the *local* obstacle subset held by a
+// visibility graph.  Supports the two hot queries of the visibility
+// machinery: "which obstacles could block this sight-line segment?" (DDA
+// cell walk) and "which obstacles could cover this rectangle / point?".
+//
+// The grid returns candidate item indices (deduplicated via an epoch stamp);
+// exact geometry tests are the caller's job.
+
+#ifndef CONN_VIS_GRID_INDEX_H_
+#define CONN_VIS_GRID_INDEX_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/segment.h"
+
+namespace conn {
+namespace vis {
+
+/// Spatial hash over a fixed domain with a fixed resolution.
+class GridIndex {
+ public:
+  /// Covers \p domain with cells_per_side x cells_per_side cells.  Items
+  /// outside the domain are clamped into the border cells (still correct,
+  /// possibly slower).
+  GridIndex(const geom::Rect& domain, int cells_per_side);
+
+  /// Registers item \p item with bounding box \p rect in every overlapped
+  /// cell.  Item indices must be dense (0, 1, 2, ...).
+  void Insert(uint32_t item, const geom::Rect& rect);
+
+  size_t item_count() const { return item_count_; }
+
+  /// Appends (deduplicated) candidate items whose cells the segment passes
+  /// through.  Any item intersecting the segment is guaranteed included.
+  void CandidatesAlongSegment(const geom::Segment& s,
+                              std::vector<uint32_t>* out) const;
+
+  /// Streaming variant: visits candidates in walk order from s.a toward
+  /// s.b and stops as soon as \p visit returns false.  Returns false iff
+  /// the walk was stopped early.  This is the hot path of the visibility
+  /// predicate — a blocked sight-line exits at its first blocker instead
+  /// of paying for the full segment length.
+  template <typename Visitor>
+  bool VisitAlongSegment(const geom::Segment& s, Visitor&& visit) const {
+    BeginQuery();
+    const double len = s.Length();
+    const double step = 0.5 * std::min(cell_w_, cell_h_);
+    const int steps = std::max(1, static_cast<int>(std::ceil(len / step)));
+    int last_cx = -2, last_cy = -2;
+    for (int i = 0; i <= steps; ++i) {
+      const geom::Vec2 p = s.At(len * i / steps);
+      const int cx = ClampCellX(p.x), cy = ClampCellY(p.y);
+      if (cx == last_cx && cy == last_cy) continue;
+      last_cx = cx;
+      last_cy = cy;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int x = cx + dx, y = cy + dy;
+          if (x < 0 || x >= n_ || y < 0 || y >= n_) continue;
+          for (uint32_t item : CellAt(x, y)) {
+            if (stamp_[item] == epoch_) continue;
+            stamp_[item] = epoch_;
+            if (!visit(item)) return false;
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Appends (deduplicated) candidate items whose cells overlap \p r.
+  void CandidatesInRect(const geom::Rect& r,
+                        std::vector<uint32_t>* out) const;
+
+  /// Appends (deduplicated) candidate items in the cell containing \p p.
+  void CandidatesAtPoint(geom::Vec2 p, std::vector<uint32_t>* out) const;
+
+ private:
+  int ClampCellX(double x) const;
+  int ClampCellY(double y) const;
+  const std::vector<uint32_t>& CellAt(int cx, int cy) const {
+    return cells_[static_cast<size_t>(cy) * n_ + cx];
+  }
+  std::vector<uint32_t>& CellAt(int cx, int cy) {
+    return cells_[static_cast<size_t>(cy) * n_ + cx];
+  }
+  void EmitCell(int cx, int cy, std::vector<uint32_t>* out) const;
+  void BeginQuery() const;
+
+  geom::Rect domain_;
+  int n_;
+  double cell_w_;
+  double cell_h_;
+  std::vector<std::vector<uint32_t>> cells_;
+  size_t item_count_ = 0;
+
+  // Epoch-stamped deduplication across cells within one query.
+  mutable std::vector<uint32_t> stamp_;
+  mutable uint32_t epoch_ = 0;
+};
+
+}  // namespace vis
+}  // namespace conn
+
+#endif  // CONN_VIS_GRID_INDEX_H_

@@ -1,0 +1,97 @@
+#include "vis/vis_graph.h"
+
+#include <algorithm>
+
+namespace conn {
+namespace vis {
+
+VisGraph::VisGraph(const geom::Rect& domain, QueryStats* stats)
+    : obstacles_(domain), stats_(stats) {}
+
+VertexId VisGraph::AddVertexInternal(geom::Vec2 p) {
+  const VertexId id = static_cast<VertexId>(vertices_.size());
+  vertices_.push_back(p);
+  adj_.emplace_back();
+  adj_computed_.push_back(false);
+  corner_.emplace_back();
+  return id;
+}
+
+VertexId VisGraph::AddFixedVertex(geom::Vec2 p) { return AddVertexInternal(p); }
+
+void VisGraph::AddObstacle(const geom::Rect& rect, rtree::ObjectId id) {
+  obstacles_.Add(rect, id);
+  ++epoch_;  // visible-region caches must revalidate
+
+  // (a) Prune cached edges the new rectangle now blocks.  Only edges whose
+  // bounding box meets the rectangle can be affected (cheap pre-filter).
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    if (!adj_computed_[v]) continue;
+    const geom::Vec2 vpos = vertices_[v];
+    std::erase_if(adj_[v], [&](const VisEdge& e) {
+      const geom::Vec2 upos = vertices_[e.to];
+      if (!geom::Rect::FromCorners(vpos, upos).Intersects(rect)) return false;
+      if (stats_ != nullptr) ++stats_->visibility_tests;
+      return geom::SegmentCrossesInterior(geom::Segment(vpos, upos), rect);
+    });
+  }
+
+  // (b) Add the four corners with eagerly computed adjacency, patching the
+  // reciprocal edges into already-computed lists so every cached list stays
+  // complete with respect to the grown graph.
+  // Corners() yields (lo,lo), (hi,lo), (hi,hi), (lo,hi); inward axis signs
+  // point from each corner into the rectangle.
+  static constexpr geom::Vec2 kInward[4] = {
+      {+1.0, +1.0}, {-1.0, +1.0}, {-1.0, -1.0}, {+1.0, -1.0}};
+  const auto corners = rect.Corners();
+  for (int ci = 0; ci < 4; ++ci) {
+    const VertexId c = AddVertexInternal(corners[ci]);
+    corner_[c] = CornerInfo{true, kInward[ci]};
+    RecomputeAdjacency(c);
+    for (const VisEdge& e : adj_[c]) {
+      if (adj_computed_[e.to]) adj_[e.to].push_back({c, e.length});
+    }
+  }
+
+  if (stats_ != nullptr) {
+    ++stats_->obstacles_evaluated;
+    stats_->vis_graph_vertices = vertices_.size();
+  }
+}
+
+bool VisGraph::Visible(geom::Vec2 a, geom::Vec2 b) const {
+  return obstacles_.Visible(a, b,
+                            stats_ ? &stats_->visibility_tests : nullptr);
+}
+
+void VisGraph::RecomputeAdjacency(VertexId v) {
+  std::vector<VisEdge>& edges = adj_[v];
+  edges.clear();
+  const geom::Vec2 pos = vertices_[v];
+  for (VertexId u = 0; u < vertices_.size(); ++u) {
+    if (u == v) continue;
+    const geom::Vec2 other = vertices_[u];
+    const double len = geom::Dist(pos, other);
+    if (len <= geom::kEpsDist) continue;  // coincident vertices: skip
+    // O(1) rejection: the edge dives straight into either endpoint's own
+    // rectangle (it would fail the sight-line walk anyway).
+    if (DirectionEntersCorner(v, other - pos) ||
+        DirectionEntersCorner(u, pos - other)) {
+      continue;
+    }
+    if (Visible(pos, other)) edges.push_back({u, len});
+  }
+  adj_computed_[v] = true;
+}
+
+const std::vector<VisEdge>& VisGraph::Neighbors(VertexId v) {
+  if (!adj_computed_[v]) RecomputeAdjacency(v);
+  return adj_[v];
+}
+
+void VisGraph::MaterializeAllAdjacency() {
+  for (VertexId v = 0; v < vertices_.size(); ++v) Neighbors(v);
+}
+
+}  // namespace vis
+}  // namespace conn

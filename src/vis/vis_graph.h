@@ -1,0 +1,117 @@
+// Local visibility graph (Section 4.1 of the paper).
+//
+// Unlike the classic global visibility graph (O(n^2) space over all 4|O|
+// obstacle corners, Section 2.4), this graph holds only the obstacles IOR
+// has retrieved so far plus a handful of fixed target vertices (the query
+// segment's endpoints — one pair per reachable piece of q).  It is *shared
+// and reused* across all data points of one CONN query: obstacles only
+// accumulate, and "the IOR for all the points in P will access the obstacle
+// set O at most once".
+//
+// Adjacency maintenance is incremental ("the insertion/deletion/update can
+// be efficiently supported", Section 1): a vertex's list is computed
+// lazily on first touch and then kept valid under obstacle insertions by
+// (a) pruning exactly the cached edges the new rectangle blocks and
+// (b) eagerly computing the four new corners' edges and patching them into
+// the cached lists of their visible counterparts.  Wholesale invalidation
+// (recompute-everything-per-insertion) is the ablation baseline measured
+// in bench/micro_visgraph.
+
+#ifndef CONN_VIS_VIS_GRAPH_H_
+#define CONN_VIS_VIS_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "geom/segment.h"
+#include "vis/obstacle_set.h"
+
+namespace conn {
+namespace vis {
+
+/// Vertex handle within a VisGraph.
+using VertexId = uint32_t;
+
+/// One weighted visibility edge.
+struct VisEdge {
+  VertexId to;
+  double length;
+};
+
+/// The incrementally grown local visibility graph.
+class VisGraph {
+ public:
+  /// \p domain must cover the workspace; \p stats (optional) receives
+  /// visibility-test counts.
+  explicit VisGraph(const geom::Rect& domain, QueryStats* stats = nullptr);
+
+  /// Adds a persistent fixed vertex (query-segment endpoints).  Must be
+  /// called before obstacles for deterministic vertex numbering.
+  VertexId AddFixedVertex(geom::Vec2 p);
+
+  /// Inserts an obstacle: registers its rectangle for blocking tests, adds
+  /// its four corners as vertices, and invalidates cached adjacency.
+  void AddObstacle(const geom::Rect& rect, rtree::ObjectId id);
+
+  /// Number of vertices (|SVG| of Section 5.1, excluding transient points).
+  size_t VertexCount() const { return vertices_.size(); }
+
+  /// Number of obstacles inserted so far.
+  size_t ObstacleCount() const { return obstacles_.size(); }
+
+  /// Monotone counter bumped by every AddObstacle; consumers caching data
+  /// derived from the obstacle set (e.g. visible regions) revalidate
+  /// against it.  Adjacency lists do NOT use it — they are patched in
+  /// place on insertion.
+  uint64_t epoch() const { return epoch_; }
+
+  geom::Vec2 VertexPos(VertexId v) const { return vertices_[v]; }
+
+  const ObstacleSet& obstacles() const { return obstacles_; }
+
+  /// Visibility test between two arbitrary points against the local
+  /// obstacle set (counted into stats).
+  bool Visible(geom::Vec2 a, geom::Vec2 b) const;
+
+  /// Adjacency list of \p v: computed on first touch, thereafter kept
+  /// valid across AddObstacle calls by incremental patching.
+  const std::vector<VisEdge>& Neighbors(VertexId v);
+
+  /// Eagerly materializes adjacency for all vertices.
+  void MaterializeAllAdjacency();
+
+ private:
+  /// Per-vertex corner metadata for the O(1) own-rectangle rejection: an
+  /// edge that leaves a corner pointing strictly into its rectangle's open
+  /// quadrant crosses that interior, so the sight-line walk can be skipped.
+  struct CornerInfo {
+    bool is_corner = false;
+    geom::Vec2 inward;  // axis signs pointing into the rectangle
+  };
+
+  bool DirectionEntersCorner(VertexId v, geom::Vec2 away) const {
+    const CornerInfo& ci = corner_[v];
+    if (!ci.is_corner) return false;
+    const double tol = 1e-9 * (std::abs(away.x) + std::abs(away.y));
+    return away.x * ci.inward.x > tol && away.y * ci.inward.y > tol;
+  }
+
+  void RecomputeAdjacency(VertexId v);
+  VertexId AddVertexInternal(geom::Vec2 p);
+
+  friend class DijkstraScan;  // uses DirectionEntersCorner when seeding
+
+  std::vector<geom::Vec2> vertices_;
+  std::vector<std::vector<VisEdge>> adj_;
+  std::vector<bool> adj_computed_;
+  std::vector<CornerInfo> corner_;
+  uint64_t epoch_ = 1;
+  ObstacleSet obstacles_;
+  QueryStats* stats_;
+};
+
+}  // namespace vis
+}  // namespace conn
+
+#endif  // CONN_VIS_VIS_GRAPH_H_

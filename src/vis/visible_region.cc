@@ -1,0 +1,91 @@
+#include "vis/visible_region.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/distance.h"
+#include "geom/predicates.h"
+
+namespace conn {
+namespace vis {
+
+geom::IntervalSet ShadowOnSegment(const geom::Rect& rect,
+                                  geom::Vec2 viewpoint,
+                                  const geom::SegmentFrame& frame,
+                                  uint64_t* test_counter) {
+  const geom::Segment& q = frame.segment();
+  const double len = frame.length();
+  if (len <= 0.0) return geom::IntervalSet();
+
+  // Exact reject: the obstacle can only shadow q if it meets the triangle
+  // (viewpoint, q.a, q.b) — a sight-line from the viewpoint to a point of q
+  // lies inside that triangle.
+  if (!geom::TriangleIntersectsRect(viewpoint, q.a, q.b, rect)) {
+    return geom::IntervalSet();
+  }
+
+  // Critical parameters: shadow boundaries can only occur where the
+  // sight-line grazes a corner, or where q itself crosses the rectangle.
+  std::vector<double> criticals = {0.0, len};
+  const geom::Vec2 d = q.Delta();
+  for (const geom::Vec2& corner : rect.Corners()) {
+    const geom::Vec2 ray = corner - viewpoint;
+    const double denom = ray.Cross(d);
+    if (std::abs(denom) < 1e-12) continue;  // ray parallel to q
+    const geom::Vec2 w = q.a - viewpoint;
+    const double s = w.Cross(d) / denom;   // position of q-hit along the ray
+    const double u = w.Cross(ray) / denom;  // fraction along q
+    // The sight-line must reach the corner before q (s >= 1): otherwise
+    // passing "through" the corner does not change blocking at q(u).
+    if (s < 1.0 - 1e-9) continue;
+    if (u < -1e-9 || u > 1.0 + 1e-9) continue;
+    criticals.push_back(std::clamp(u, 0.0, 1.0) * len);
+  }
+  double t0, t1;
+  if (geom::ClipSegmentToRect(q, rect, &t0, &t1)) {
+    criticals.push_back(t0 * len);
+    criticals.push_back(t1 * len);
+  }
+  std::sort(criticals.begin(), criticals.end());
+  criticals.erase(std::unique(criticals.begin(), criticals.end(),
+                              [](double a, double b) {
+                                return std::abs(a - b) <= geom::kEpsParam;
+                              }),
+                  criticals.end());
+
+  // Classify each cell by one exact midpoint test.
+  std::vector<geom::Interval> blocked;
+  for (size_t i = 0; i + 1 < criticals.size(); ++i) {
+    const double lo = criticals[i], hi = criticals[i + 1];
+    const geom::Vec2 mid = q.At(0.5 * (lo + hi));
+    if (test_counter != nullptr) ++*test_counter;
+    if (geom::SegmentCrossesInterior(geom::Segment(viewpoint, mid), rect)) {
+      blocked.push_back(geom::Interval(lo, hi));
+    }
+  }
+  return geom::IntervalSet(std::move(blocked));
+}
+
+geom::IntervalSet VisibleRegion(const ObstacleSet& obstacles,
+                                geom::Vec2 viewpoint,
+                                const geom::SegmentFrame& frame,
+                                uint64_t* test_counter) {
+  const double len = frame.length();
+  geom::IntervalSet visible{geom::Interval(0.0, len)};
+  if (len <= 0.0) return visible;
+
+  std::vector<uint32_t> candidates;
+  const geom::Rect hull_bbox =
+      frame.segment().Bounds().ExpandedToCover(viewpoint);
+  obstacles.CandidatesInRect(hull_bbox, &candidates);
+  for (uint32_t i : candidates) {
+    const geom::IntervalSet shadow =
+        ShadowOnSegment(obstacles.rect(i), viewpoint, frame, test_counter);
+    if (!shadow.IsEmpty()) visible = visible.Subtract(shadow);
+    if (visible.IsEmpty()) break;
+  }
+  return visible;
+}
+
+}  // namespace vis
+}  // namespace conn

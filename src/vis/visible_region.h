@@ -1,0 +1,40 @@
+// Visible region computation (Definition 2): the sub-intervals of a query
+// segment q that a viewpoint sees past the obstacle set.
+//
+// Per obstacle, the blocked parameter set is delimited by (a) rays from the
+// viewpoint through the obstacle's corners extended to q (grazing
+// boundaries) and (b) the points where q itself enters/exits the obstacle.
+// Each candidate sub-interval is then classified exactly by one
+// midpoint-blocking test, which keeps every degenerate configuration
+// (viewpoint collinear with edges, q crossing the obstacle, viewpoint on a
+// boundary) in a single robust code path.
+
+#ifndef CONN_VIS_VISIBLE_REGION_H_
+#define CONN_VIS_VISIBLE_REGION_H_
+
+#include "geom/curve.h"
+#include "geom/interval_set.h"
+#include "vis/obstacle_set.h"
+
+namespace conn {
+namespace vis {
+
+/// Blocked parameter intervals of \p frame's segment w.r.t. the single
+/// rectangle \p rect as seen from \p viewpoint.  Exposed for unit testing.
+geom::IntervalSet ShadowOnSegment(const geom::Rect& rect,
+                                  geom::Vec2 viewpoint,
+                                  const geom::SegmentFrame& frame,
+                                  uint64_t* test_counter = nullptr);
+
+/// Visible region VR(viewpoint, q) over \p obstacles: all arc-length
+/// parameters t with an unblocked sight-line viewpoint -> q(t).
+/// \p test_counter (optional) accumulates exact blocking tests.
+geom::IntervalSet VisibleRegion(const ObstacleSet& obstacles,
+                                geom::Vec2 viewpoint,
+                                const geom::SegmentFrame& frame,
+                                uint64_t* test_counter = nullptr);
+
+}  // namespace vis
+}  // namespace conn
+
+#endif  // CONN_VIS_VISIBLE_REGION_H_

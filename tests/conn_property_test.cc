@@ -1,0 +1,101 @@
+// End-to-end property tests: the optimized CONN engine against the
+// brute-force NaiveOracle (full visibility graph + dense sampling) on
+// randomized scenes.  These are the primary correctness anchors of the
+// whole library — if the split-point algebra, IOR, CPLC, or RLU were wrong
+// anywhere, distances at some sample point would disagree.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/conn.h"
+#include "core/naive.h"
+#include "geom/curve.h"
+#include "test_util.h"
+
+namespace conn {
+namespace {
+
+constexpr double kTol = 1e-5;
+constexpr int kSamplesPerQuery = 257;
+
+struct SceneParams {
+  uint64_t seed;
+  size_t points;
+  size_t obstacles;
+  double query_len;
+};
+
+class ConnVsOracle : public ::testing::TestWithParam<SceneParams> {};
+
+TEST_P(ConnVsOracle, OdistMatchesOracleAtSamples) {
+  const SceneParams params = GetParam();
+  const testutil::Scene scene = testutil::MakeScene(
+      params.seed, params.points, params.obstacles, params.query_len);
+  const rtree::RStarTree tp = testutil::MakePointTree(scene);
+  const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
+
+  const core::ConnResult result = core::ConnQuery(tp, to, scene.query);
+  const core::NaiveOracle oracle(scene.points, scene.obstacles);
+
+  const double len = scene.query.Length();
+  for (int i = 0; i < kSamplesPerQuery; ++i) {
+    const double t = len * i / (kSamplesPerQuery - 1);
+    const geom::Vec2 s = scene.query.At(t);
+    // Skip samples inside obstacle interiors (reported unreachable) and
+    // samples within tolerance of a tuple boundary (either side is valid).
+    if (result.unreachable.Contains(t, 1e-3)) continue;
+
+    const auto truth = oracle.OnnAt(s, 1);
+    const double reported = result.OdistAt(t);
+    if (truth.empty()) {
+      EXPECT_TRUE(std::isinf(reported)) << "t=" << t;
+      continue;
+    }
+    ASSERT_FALSE(std::isinf(reported))
+        << "engine found no ONN at t=" << t << " but oracle found pid="
+        << truth[0].first << " at odist=" << truth[0].second;
+    // Identity may differ under ties; the distance must agree.
+    EXPECT_NEAR(reported, truth[0].second, kTol * (1.0 + truth[0].second))
+        << "seed=" << params.seed << " t=" << t
+        << " engine pid=" << result.OnnAt(t)
+        << " oracle pid=" << truth[0].first;
+  }
+}
+
+TEST_P(ConnVsOracle, TuplesTileTheReachableDomain) {
+  const SceneParams params = GetParam();
+  const testutil::Scene scene = testutil::MakeScene(
+      params.seed, params.points, params.obstacles, params.query_len);
+  const rtree::RStarTree tp = testutil::MakePointTree(scene);
+  const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
+  const core::ConnResult result = core::ConnQuery(tp, to, scene.query);
+
+  // Tuples are ordered, disjoint, and cover [0, len] minus the unreachable
+  // intervals.
+  double covered = 0.0;
+  for (size_t i = 0; i < result.tuples.size(); ++i) {
+    const geom::Interval& r = result.tuples[i].range;
+    EXPECT_LE(r.lo, r.hi + geom::kEpsParam);
+    if (i > 0) {
+      EXPECT_GE(r.lo, result.tuples[i - 1].range.hi - geom::kEpsParam);
+    }
+    covered += r.Length();
+  }
+  const double expected =
+      scene.query.Length() - result.unreachable.TotalLength();
+  EXPECT_NEAR(covered, expected, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomScenes, ConnVsOracle,
+    ::testing::Values(
+        SceneParams{1, 20, 6, 400.0}, SceneParams{2, 40, 12, 400.0},
+        SceneParams{3, 60, 20, 500.0}, SceneParams{4, 10, 30, 300.0},
+        SceneParams{5, 80, 8, 600.0}, SceneParams{6, 30, 25, 200.0},
+        SceneParams{7, 50, 15, 700.0}, SceneParams{8, 25, 40, 350.0},
+        SceneParams{9, 100, 10, 450.0}, SceneParams{10, 15, 50, 500.0},
+        SceneParams{11, 70, 35, 550.0}, SceneParams{12, 45, 45, 250.0}));
+
+}  // namespace
+}  // namespace conn

@@ -1,0 +1,137 @@
+// Tests for SegmentFrame, DistanceCurve, and the crossing solver — the
+// machinery realizing Theorem 1 (at most two equal-distance points).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/curve.h"
+
+namespace conn {
+namespace geom {
+namespace {
+
+TEST(SegmentFrameTest, ProjectsIntoArcLengthCoordinates) {
+  const SegmentFrame f(Segment({0, 0}, {10, 0}));
+  EXPECT_DOUBLE_EQ(f.length(), 10.0);
+  EXPECT_DOUBLE_EQ(f.ProjectM({3, 5}), 3.0);
+  EXPECT_DOUBLE_EQ(f.ProjectH({3, 5}), 5.0);
+  EXPECT_DOUBLE_EQ(f.ProjectH({3, -5}), 5.0);  // unsigned
+}
+
+TEST(SegmentFrameTest, RotatedSegment) {
+  const SegmentFrame f(Segment({0, 0}, {3, 4}));  // length 5
+  EXPECT_DOUBLE_EQ(f.length(), 5.0);
+  // The segment's endpoint projects to (5, 0).
+  EXPECT_NEAR(f.ProjectM({3, 4}), 5.0, 1e-12);
+  EXPECT_NEAR(f.ProjectH({3, 4}), 0.0, 1e-12);
+  // A point perpendicular off the midpoint.
+  const Vec2 mid{1.5, 2.0};
+  const Vec2 off = mid + Vec2{-4.0 / 5.0, 3.0 / 5.0} * 2.0;
+  EXPECT_NEAR(f.ProjectM(off), 2.5, 1e-12);
+  EXPECT_NEAR(f.ProjectH(off), 2.0, 1e-12);
+}
+
+TEST(DistanceCurveTest, EvalMatchesDirectComputation) {
+  const SegmentFrame f(Segment({0, 0}, {10, 0}));
+  const Vec2 cp{4, 3};
+  const DistanceCurve c = DistanceCurve::FromControlPoint(f, cp, 7.0);
+  for (double t = 0; t <= 10; t += 0.5) {
+    EXPECT_NEAR(c.Eval(t), 7.0 + Dist(cp, f.PointAt(t)), 1e-12);
+  }
+}
+
+TEST(CurveCrossingsTest, EqualOffsetsIsBisector) {
+  const SegmentFrame f(Segment({0, 0}, {10, 0}));
+  // Control points (2,1) and (8,1) with zero offsets: crossing at x = 5.
+  const auto c1 = DistanceCurve::FromControlPoint(f, {2, 1}, 0.0);
+  const auto c2 = DistanceCurve::FromControlPoint(f, {8, 1}, 0.0);
+  const auto xs = CurveCrossings(c1, c2, Interval(0, 10));
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_NEAR(xs[0], 5.0, 1e-9);
+}
+
+TEST(CurveCrossingsTest, IdenticalCurvesReportNone) {
+  const SegmentFrame f(Segment({0, 0}, {10, 0}));
+  const auto c = DistanceCurve::FromControlPoint(f, {5, 2}, 1.0);
+  EXPECT_TRUE(CurveCrossings(c, c, Interval(0, 10)).empty());
+}
+
+TEST(CurveCrossingsTest, TwoCrossings) {
+  const SegmentFrame f(Segment({0, 0}, {20, 0}));
+  // Far control point with small offset vs near control point with large
+  // offset: the near one wins only in the middle.
+  const auto far = DistanceCurve::FromControlPoint(f, {10, 8}, 0.0);
+  const auto near = DistanceCurve::FromControlPoint(f, {10, 1}, 4.0);
+  const auto xs = CurveCrossings(far, near, Interval(0, 20));
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_LT(xs[0], 10.0);
+  EXPECT_GT(xs[1], 10.0);
+  // Verify sign pattern: near wins strictly between the crossings.
+  const double mid = 10.0;
+  EXPECT_LT(near.Eval(mid), far.Eval(mid));
+  EXPECT_GT(near.Eval(0.0), far.Eval(0.0));
+  EXPECT_GT(near.Eval(20.0), far.Eval(20.0));
+}
+
+TEST(CurveCrossingsTest, KinkedCurveOnSegmentLine) {
+  const SegmentFrame f(Segment({0, 0}, {10, 0}));
+  // Control point ON the supporting line: h = 0, V-shaped curve.
+  const auto v = DistanceCurve::FromControlPoint(f, {5, 0}, 0.0);
+  const auto flat = DistanceCurve::FromControlPoint(f, {5, 3}, 0.0);
+  // |t-5| = sqrt((t-5)^2+9) has no solution; with offset it does:
+  const auto lifted = DistanceCurve::FromControlPoint(f, {5, 0}, 2.0);
+  EXPECT_TRUE(CurveCrossings(v, flat, Interval(0, 10)).empty());
+  const auto xs = CurveCrossings(lifted, flat, Interval(0, 10));
+  // 2 + |t-5| = sqrt((t-5)^2 + 9): |t-5| = 5/4 -> t = 3.75, 6.25.
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_NEAR(xs[0], 3.75, 1e-9);
+  EXPECT_NEAR(xs[1], 6.25, 1e-9);
+}
+
+class CurveCrossingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CurveCrossingProperty, CrossingsMatchDenseSignScan) {
+  Rng rng(GetParam());
+  const SegmentFrame f(Segment({0, 0}, {100, 0}));
+  for (int iter = 0; iter < 300; ++iter) {
+    const auto c1 = DistanceCurve::FromControlPoint(
+        f, {rng.Uniform(-20, 120), rng.Uniform(0, 60)}, rng.Uniform(0, 80));
+    const auto c2 = DistanceCurve::FromControlPoint(
+        f, {rng.Uniform(-20, 120), rng.Uniform(0, 60)}, rng.Uniform(0, 80));
+    const Interval domain(0, 100);
+    const auto xs = CurveCrossings(c1, c2, domain);
+    ASSERT_LE(xs.size(), 2u);  // Theorem 1
+
+    // Dense scan: every sign change must be near a reported crossing, and
+    // every reported crossing must have |g| ~ 0.
+    for (double x : xs) {
+      EXPECT_LE(std::abs(c1.Eval(x) - c2.Eval(x)), 1e-5);
+    }
+    const int kGrid = 400;
+    double prev = c1.Eval(0) - c2.Eval(0);
+    for (int i = 1; i <= kGrid; ++i) {
+      const double t = 100.0 * i / kGrid;
+      const double cur = c1.Eval(t) - c2.Eval(t);
+      if (prev * cur < 0.0 && std::abs(prev) > 1e-7 && std::abs(cur) > 1e-7) {
+        // A sign change inside (t - step, t): some crossing must be nearby.
+        bool found = false;
+        for (double x : xs) {
+          if (x >= 100.0 * (i - 1) / kGrid - 1e-6 && x <= t + 1e-6) {
+            found = true;
+          }
+        }
+        EXPECT_TRUE(found) << "sign change near t=" << t << " not reported";
+      }
+      prev = cur;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CurveCrossingProperty,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace geom
+}  // namespace conn

@@ -1,0 +1,162 @@
+// Tests for the dataset and workload generators of Section 5.1.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.h"
+#include "datagen/distributions.h"
+#include "datagen/workload.h"
+#include "vis/obstacle_set.h"
+
+namespace conn {
+namespace datagen {
+namespace {
+
+TEST(DistributionsTest, UniformCoversDomain) {
+  Rng rng(1);
+  const geom::Rect domain({0, 0}, {100, 200});
+  const auto pts = UniformPoints(10000, domain, &rng);
+  double minx = 1e9, maxx = -1e9, miny = 1e9, maxy = -1e9;
+  for (const geom::Vec2& p : pts) {
+    ASSERT_TRUE(domain.Contains(p));
+    minx = std::min(minx, p.x);
+    maxx = std::max(maxx, p.x);
+    miny = std::min(miny, p.y);
+    maxy = std::max(maxy, p.y);
+  }
+  EXPECT_LT(minx, 5.0);
+  EXPECT_GT(maxx, 95.0);
+  EXPECT_LT(miny, 10.0);
+  EXPECT_GT(maxy, 190.0);
+}
+
+TEST(DistributionsTest, ZipfIsSkewedTowardOrigin) {
+  Rng rng(2);
+  const geom::Rect domain({0, 0}, {100, 100});
+  const auto pts = ZipfPoints(20000, domain, 0.8, &rng);
+  size_t low_quarter = 0;
+  for (const geom::Vec2& p : pts) {
+    ASSERT_TRUE(domain.Contains(p));
+    if (p.x < 25.0) ++low_quarter;
+  }
+  // With alpha=0.8, far more than half of the mass sits in the low quarter
+  // (u^5 < 0.25 for u < 0.758).
+  EXPECT_GT(low_quarter, pts.size() / 2);
+}
+
+TEST(DistributionsTest, ZipfFractionRangeAndDeterminism) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = ZipfFraction(&a, 0.8);
+    EXPECT_GT(x, 0.0);
+    EXPECT_LE(x, 1.0);
+    EXPECT_DOUBLE_EQ(x, ZipfFraction(&b, 0.8));  // same seed, same stream
+  }
+}
+
+TEST(DistributionsTest, ClusteredPointsAreClustered) {
+  Rng rng(3);
+  const geom::Rect domain({0, 0}, {10000, 10000});
+  const auto pts = ClusteredPoints(5000, domain, 10, &rng);
+  // Mean nearest-neighbor distance of a clustered set is far below the
+  // uniform expectation (~0.5/sqrt(n/area) ~ 70 here).
+  double total_nn = 0.0;
+  const size_t probes = 200;
+  for (size_t i = 0; i < probes; ++i) {
+    double best = 1e18;
+    for (size_t j = 0; j < pts.size(); ++j) {
+      if (j == i) continue;
+      best = std::min(best, geom::Dist2(pts[i], pts[j]));
+    }
+    total_nn += std::sqrt(best);
+  }
+  EXPECT_LT(total_nn / probes, 40.0);
+}
+
+TEST(DatasetsTest, StreetRectsAreValidThinAndInWorkspace) {
+  const auto rects = StreetRects(5000, 4);
+  ASSERT_EQ(rects.size(), 5000u);
+  size_t thin = 0;
+  for (const geom::Rect& r : rects) {
+    ASSERT_TRUE(r.IsValid());
+    ASSERT_TRUE(Workspace().Contains(r));
+    EXPECT_GE(r.Width(), kMinObstacleExtent - 1e-9);
+    EXPECT_GE(r.Height(), kMinObstacleExtent - 1e-9);
+    if (std::min(r.Width(), r.Height()) * 3 <
+        std::max(r.Width(), r.Height())) {
+      ++thin;
+    }
+  }
+  // Street MBRs are predominantly elongated.
+  EXPECT_GT(thin, rects.size() / 2);
+}
+
+TEST(DatasetsTest, DisplaceClearsAllInteriors) {
+  auto pair = MakeDatasetPair(PointDistribution::kUniform, 2000, 3000, 99);
+  vis::ObstacleSet set(Workspace(), 128);
+  for (size_t i = 0; i < pair.obstacles.size(); ++i) {
+    set.Add(pair.obstacles[i], i);
+  }
+  for (const geom::Vec2& p : pair.points) {
+    EXPECT_FALSE(set.PointInAnyInterior(p));
+  }
+}
+
+TEST(DatasetsTest, GenerationIsDeterministic) {
+  const auto a = StreetRects(500, 42);
+  const auto b = StreetRects(500, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+
+  const auto pa = GeneratePoints(PointDistribution::kClustered, 500, 42);
+  const auto pb = GeneratePoints(PointDistribution::kClustered, 500, 42);
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]);
+}
+
+TEST(WorkloadTest, QueryLengthConversion) {
+  EXPECT_DOUBLE_EQ(QueryLengthFromPercent(4.5), 450.0);
+  EXPECT_DOUBLE_EQ(QueryLengthFromPercent(7.5), 750.0);
+}
+
+TEST(WorkloadTest, SegmentsHaveRequestedLengthAndStayInside) {
+  WorkloadOptions opts;
+  opts.query_length = 450.0;
+  const auto segs = MakeWorkload(50, Workspace(), opts, {}, 7);
+  ASSERT_EQ(segs.size(), 50u);
+  for (const geom::Segment& s : segs) {
+    EXPECT_NEAR(s.Length(), 450.0, 1e-6);
+    EXPECT_TRUE(Workspace().Contains(s.a));
+    EXPECT_TRUE(Workspace().Contains(s.b));
+  }
+}
+
+TEST(WorkloadTest, AvoidanceReducesBlockedLength) {
+  const auto obstacles = StreetRects(4000, 11);
+  vis::ObstacleSet set(Workspace(), 128);
+  for (size_t i = 0; i < obstacles.size(); ++i) set.Add(obstacles[i], i);
+
+  WorkloadOptions avoid;
+  avoid.query_length = 450.0;
+  avoid.avoid_obstacle_crossings = true;
+  WorkloadOptions plain;
+  plain.query_length = 450.0;
+
+  double blocked_avoid = 0.0, blocked_plain = 0.0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    blocked_avoid += set.BlockedIntervalsOnSegment(
+                            RandomQuerySegment(Workspace(), avoid, obstacles,
+                                               seed))
+                         .TotalLength();
+    blocked_plain += set.BlockedIntervalsOnSegment(
+                            RandomQuerySegment(Workspace(), plain, obstacles,
+                                               seed))
+                         .TotalLength();
+  }
+  EXPECT_LE(blocked_avoid, blocked_plain);
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace conn

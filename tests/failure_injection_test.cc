@@ -1,0 +1,173 @@
+// Adversarial / degenerate-input tests: queries crossing obstacles, data
+// points walled off or sitting on obstacle corners, duplicate points,
+// obstacle-dense pockets, and boundary-touching geometry.  The engine must
+// stay correct (verified against the oracle) and must never crash or hang.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/coknn.h"
+#include "core/conn.h"
+#include "core/naive.h"
+#include "test_util.h"
+
+namespace conn {
+namespace core {
+namespace {
+
+TEST(FailureInjectionTest, QueryCrossingObstacleReportsUnreachable) {
+  testutil::Scene scene;
+  scene.points = {{10, 50}, {90, 50}};
+  scene.obstacles = {geom::Rect({40, -20}, {60, 120})};  // wall across q
+  const rtree::RStarTree tp = testutil::MakePointTree(scene);
+  const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
+  const ConnResult r = ConnQuery(tp, to, geom::Segment({0, 50}, {100, 50}));
+
+  ASSERT_EQ(r.unreachable.size(), 1u);
+  EXPECT_NEAR(r.unreachable.intervals()[0].lo, 40.0, 1e-5);
+  EXPECT_NEAR(r.unreachable.intervals()[0].hi, 60.0, 1e-5);
+  EXPECT_EQ(r.OnnAt(50.0), kNoPoint);
+  // Outside the wall both sides have answers; the wall splits ownership.
+  EXPECT_EQ(r.OnnAt(10.0), 0);
+  EXPECT_EQ(r.OnnAt(90.0), 1);
+  // The left point's odist at the right piece requires a detour.
+  EXPECT_GT(r.OdistAt(65.0), 0.0);
+}
+
+TEST(FailureInjectionTest, WalledOffPointNeverWins) {
+  testutil::Scene scene;
+  scene.points = {{500, 500}, {700, 520}};
+  // Box point 0 (Euclidean-nearest to the query) completely.
+  scene.obstacles = {
+      geom::Rect({450, 450}, {550, 460}), geom::Rect({450, 540}, {550, 550}),
+      geom::Rect({450, 450}, {460, 550}), geom::Rect({540, 450}, {550, 550})};
+  const rtree::RStarTree tp = testutil::MakePointTree(scene);
+  const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
+  const ConnResult r =
+      ConnQuery(tp, to, geom::Segment({480, 600}, {620, 600}));
+  for (const ConnTuple& t : r.tuples) {
+    EXPECT_EQ(t.point_id, 1) << "walled-off point must not appear";
+  }
+}
+
+TEST(FailureInjectionTest, AllPointsUnreachableGivesEmptyAnswer) {
+  testutil::Scene scene;
+  scene.points = {{500, 500}};
+  scene.obstacles = {
+      geom::Rect({450, 450}, {550, 460}), geom::Rect({450, 540}, {550, 550}),
+      geom::Rect({450, 450}, {460, 550}), geom::Rect({540, 450}, {550, 550})};
+  const rtree::RStarTree tp = testutil::MakePointTree(scene);
+  const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
+  const ConnResult r = ConnQuery(tp, to, geom::Segment({0, 0}, {100, 0}));
+  ASSERT_EQ(r.tuples.size(), 1u);
+  EXPECT_EQ(r.tuples[0].point_id, kNoPoint);
+  EXPECT_TRUE(std::isinf(r.OdistAt(50.0)));
+}
+
+TEST(FailureInjectionTest, PointOnObstacleCornerIsUsable) {
+  testutil::Scene scene;
+  scene.points = {{30, 40}};  // exactly an obstacle corner
+  scene.obstacles = {geom::Rect({30, 40}, {70, 80})};
+  const rtree::RStarTree tp = testutil::MakePointTree(scene);
+  const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
+  const ConnResult r = ConnQuery(tp, to, geom::Segment({0, 0}, {100, 0}));
+  ASSERT_FALSE(r.tuples.empty());
+  for (const ConnTuple& t : r.tuples) {
+    EXPECT_EQ(t.point_id, 0);
+    EXPECT_TRUE(std::isfinite(r.OdistAt(t.range.Mid())));
+  }
+}
+
+TEST(FailureInjectionTest, DuplicatePointsTie) {
+  testutil::Scene scene;
+  scene.points = {{50, 30}, {50, 30}, {50, 30}};
+  const rtree::RStarTree tp = testutil::MakePointTree(scene);
+  const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
+  const ConnResult r = ConnQuery(tp, to, geom::Segment({0, 0}, {100, 0}));
+  ASSERT_EQ(r.tuples.size(), 1u);
+  EXPECT_NEAR(r.OdistAt(50.0), 30.0, 1e-9);
+  // Any of the duplicates is acceptable as the winner.
+  EXPECT_GE(r.tuples[0].point_id, 0);
+  EXPECT_LE(r.tuples[0].point_id, 2);
+}
+
+TEST(FailureInjectionTest, QueryTouchingObstacleEdgeIsFullyReachable) {
+  testutil::Scene scene;
+  scene.points = {{50, 50}};
+  scene.obstacles = {geom::Rect({20, -30}, {80, 0})};  // q runs along its top
+  const rtree::RStarTree tp = testutil::MakePointTree(scene);
+  const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
+  const ConnResult r = ConnQuery(tp, to, geom::Segment({0, 0}, {100, 0}));
+  EXPECT_TRUE(r.unreachable.IsEmpty());
+  EXPECT_NEAR(r.OdistAt(50.0), 50.0, 1e-9);
+}
+
+TEST(FailureInjectionTest, DensePocketMatchesOracle) {
+  // A dense pocket of overlapping obstacles around the query's middle.
+  testutil::Scene scene = testutil::MakeScene(77, 25, 0, 600.0);
+  Rng rng(1234);
+  const geom::Vec2 mid = scene.query.At(scene.query.Length() / 2);
+  for (int i = 0; i < 30; ++i) {
+    const geom::Vec2 c{mid.x + rng.Uniform(-120, 120),
+                       mid.y + rng.Uniform(-120, 120)};
+    const double w = rng.Uniform(10, 60), h = rng.Uniform(10, 60);
+    scene.obstacles.push_back(geom::Rect({c.x - w / 2, c.y - h / 2},
+                                         {c.x + w / 2, c.y + h / 2}));
+  }
+  datagen::DisplacePointsOutsideObstacles(&scene.points, scene.obstacles, 9);
+  const rtree::RStarTree tp = testutil::MakePointTree(scene);
+  const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
+  const ConnResult r = ConnQuery(tp, to, scene.query);
+  const NaiveOracle oracle(scene.points, scene.obstacles);
+
+  for (int i = 0; i <= 150; ++i) {
+    const double t = scene.query.Length() * i / 150.0;
+    if (r.unreachable.Contains(t, 1e-3)) continue;
+    const auto want = oracle.OnnAt(scene.query.At(t), 1);
+    const double got = r.OdistAt(t);
+    if (want.empty()) {
+      EXPECT_TRUE(std::isinf(got));
+    } else {
+      ASSERT_TRUE(std::isfinite(got)) << "t=" << t;
+      EXPECT_NEAR(got, want[0].second, 1e-5 * (1 + want[0].second))
+          << "t=" << t;
+    }
+  }
+}
+
+TEST(FailureInjectionTest, CoknnWithKLargerThanDataset) {
+  testutil::Scene scene;
+  scene.points = {{30, 20}, {70, 20}};
+  const rtree::RStarTree tp = testutil::MakePointTree(scene);
+  const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
+  const CoknnResult r =
+      CoknnQuery(tp, to, geom::Segment({0, 0}, {100, 0}), 5);
+  ASSERT_FALSE(r.tuples.empty());
+  for (const CoknnTuple& t : r.tuples) {
+    EXPECT_EQ(t.candidates.size(), 2u);  // only 2 points exist
+  }
+}
+
+TEST(FailureInjectionTest, ReversedQuerySegmentIsSymmetric) {
+  const testutil::Scene scene = testutil::MakeScene(88, 40, 12);
+  const rtree::RStarTree tp = testutil::MakePointTree(scene);
+  const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
+  const ConnResult fwd = ConnQuery(tp, to, scene.query);
+  const ConnResult rev = ConnQuery(tp, to, scene.query.Reversed());
+  const double len = scene.query.Length();
+  for (int i = 0; i <= 100; ++i) {
+    const double t = len * (i + 0.5) / 101.0;
+    const double a = fwd.OdistAt(t);
+    const double b = rev.OdistAt(len - t);
+    if (std::isinf(a) || std::isinf(b)) {
+      EXPECT_EQ(std::isinf(a), std::isinf(b)) << "t=" << t;
+    } else {
+      EXPECT_NEAR(a, b, 1e-6 * (1 + a)) << "t=" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace conn

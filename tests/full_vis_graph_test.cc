@@ -1,0 +1,80 @@
+// Tests for the global (complete) visibility graph baseline of Section 2.4.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "vis/full_vis_graph.h"
+
+namespace conn {
+namespace vis {
+namespace {
+
+TEST(FullVisGraphTest, VertexCountIsFourPerObstaclePlusPoints) {
+  FullVisGraph g({geom::Rect({0, 0}, {10, 10}), geom::Rect({20, 20}, {30, 30})});
+  EXPECT_EQ(g.VertexCount(), 8u);  // the paper's FULL = 4|O|
+  g.AddPoint({50, 50});
+  EXPECT_EQ(g.VertexCount(), 9u);
+}
+
+TEST(FullVisGraphTest, DirectPathNoObstacles) {
+  FullVisGraph g({});
+  const VertexId a = g.AddPoint({0, 0});
+  const VertexId b = g.AddPoint({30, 40});
+  g.Build();
+  EXPECT_DOUBLE_EQ(g.Distance(a, b), 50.0);
+}
+
+TEST(FullVisGraphTest, DetourAroundWall) {
+  FullVisGraph g({geom::Rect({45, -30}, {55, 30})});
+  const VertexId a = g.AddPoint({0, 0});
+  const VertexId b = g.AddPoint({100, 0});
+  g.Build();
+  const double expected = std::hypot(45, 30) + 10 + std::hypot(45, 30);
+  EXPECT_NEAR(g.Distance(a, b), expected, 1e-9);
+}
+
+TEST(FullVisGraphTest, FigureTwoTopology) {
+  // Qualitative reproduction of Figure 2 of the paper: the shortest path
+  // from ps to pe routes around the obstacles via corner vertices.
+  const geom::Rect o1({20, 35}, {45, 60});  // upper obstacle
+  const geom::Rect o2({35, 5}, {70, 34});   // lower obstacle (blocks the
+                                            // straight ps-pe line)
+  FullVisGraph g({o1, o2});
+  const VertexId ps = g.AddPoint({5, 30});
+  const VertexId pe = g.AddPoint({90, 40});
+  g.Build();
+  const double d = g.Distance(ps, pe);
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_GT(d, geom::Dist({5, 30}, {90, 40}));  // a detour was needed
+}
+
+TEST(FullVisGraphTest, UnreachableEnclosure) {
+  // A point sealed inside a box of overlapping obstacles.
+  FullVisGraph g({geom::Rect({40, 40}, {60, 45}), geom::Rect({40, 55}, {60, 60}),
+                  geom::Rect({40, 40}, {45, 60}), geom::Rect({55, 40}, {60, 60})});
+  const VertexId inside = g.AddPoint({50, 50});
+  const VertexId outside = g.AddPoint({0, 0});
+  g.Build();
+  EXPECT_TRUE(std::isinf(g.Distance(outside, inside)));
+}
+
+TEST(FullVisGraphTest, DistancesFromLocationMatchesAddedPoint) {
+  const std::vector<geom::Rect> obstacles = {geom::Rect({30, 10}, {50, 40})};
+  const geom::Vec2 probe{5, 25};
+
+  FullVisGraph g1(obstacles);
+  const VertexId target = g1.AddPoint({95, 25});
+  g1.Build();
+  const std::vector<double> dist = g1.DistancesFromLocation(probe);
+
+  FullVisGraph g2(obstacles);
+  const VertexId t2 = g2.AddPoint({95, 25});
+  const VertexId s2 = g2.AddPoint(probe);
+  g2.Build();
+  EXPECT_NEAR(dist[target], g2.Distance(s2, t2), 1e-9);
+}
+
+}  // namespace
+}  // namespace vis
+}  // namespace conn

@@ -1,0 +1,117 @@
+// Unit tests for the Euclidean distance metrics, especially
+// MinDistRectSegment — the R-tree pruning metric mindist(N, q).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/distance.h"
+
+namespace conn {
+namespace geom {
+namespace {
+
+TEST(DistPointSegmentTest, ProjectionInside) {
+  EXPECT_DOUBLE_EQ(DistPointSegment({5, 3}, Segment({0, 0}, {10, 0})), 3.0);
+}
+
+TEST(DistPointSegmentTest, ClampsToEndpoints) {
+  EXPECT_DOUBLE_EQ(DistPointSegment({-3, 4}, Segment({0, 0}, {10, 0})), 5.0);
+  EXPECT_DOUBLE_EQ(DistPointSegment({13, 4}, Segment({0, 0}, {10, 0})), 5.0);
+}
+
+TEST(DistPointSegmentTest, ZeroLengthSegment) {
+  EXPECT_DOUBLE_EQ(DistPointSegment({3, 4}, Segment({0, 0}, {0, 0})), 5.0);
+}
+
+TEST(ClosestParamTest, Basic) {
+  const Segment s({0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(ClosestParamOnSegment({4, 7}, s), 4.0);
+  EXPECT_DOUBLE_EQ(ClosestParamOnSegment({-5, 0}, s), 0.0);
+  EXPECT_DOUBLE_EQ(ClosestParamOnSegment({50, 0}, s), 10.0);
+}
+
+TEST(DistSegmentSegmentTest, IntersectingIsZero) {
+  EXPECT_DOUBLE_EQ(DistSegmentSegment(Segment({0, 0}, {4, 4}),
+                                      Segment({0, 4}, {4, 0})),
+                   0.0);
+}
+
+TEST(DistSegmentSegmentTest, ParallelSegments) {
+  EXPECT_DOUBLE_EQ(DistSegmentSegment(Segment({0, 0}, {10, 0}),
+                                      Segment({0, 3}, {10, 3})),
+                   3.0);
+}
+
+TEST(DistSegmentSegmentTest, EndpointToInterior) {
+  EXPECT_DOUBLE_EQ(DistSegmentSegment(Segment({0, 0}, {10, 0}),
+                                      Segment({5, 2}, {5, 9})),
+                   2.0);
+}
+
+TEST(MinDistRectPointTest, InsideIsZero) {
+  EXPECT_DOUBLE_EQ(MinDistRectPoint(Rect({0, 0}, {10, 10}), {5, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(MinDistRectPoint(Rect({0, 0}, {10, 10}), {10, 10}), 0.0);
+}
+
+TEST(MinDistRectPointTest, SideAndCorner) {
+  const Rect r({0, 0}, {10, 10});
+  EXPECT_DOUBLE_EQ(MinDistRectPoint(r, {15, 5}), 5.0);   // side
+  EXPECT_DOUBLE_EQ(MinDistRectPoint(r, {13, 14}), 5.0);  // corner 3-4-5
+}
+
+TEST(MinDistRectSegmentTest, IntersectingIsZero) {
+  EXPECT_DOUBLE_EQ(
+      MinDistRectSegment(Rect({0, 0}, {10, 10}), Segment({-5, 5}, {15, 5})),
+      0.0);
+}
+
+TEST(MinDistRectSegmentTest, SegmentBesideRect) {
+  EXPECT_DOUBLE_EQ(
+      MinDistRectSegment(Rect({0, 0}, {10, 10}), Segment({12, 0}, {12, 10})),
+      2.0);
+}
+
+TEST(MinDistRectSegmentTest, DiagonalApproach) {
+  EXPECT_NEAR(
+      MinDistRectSegment(Rect({0, 0}, {10, 10}), Segment({13, 14}, {20, 20})),
+      5.0, 1e-12);
+}
+
+TEST(MinDistRectSegmentTest, MatchesBruteForceSampling) {
+  // Property check against dense sampling of both the segment and the rect
+  // boundary.
+  Rng rng(42);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Rect r = Rect::FromCorners(
+        {rng.Uniform(0, 100), rng.Uniform(0, 100)},
+        {rng.Uniform(0, 100), rng.Uniform(0, 100)});
+    const Segment s({rng.Uniform(0, 100), rng.Uniform(0, 100)},
+                    {rng.Uniform(0, 100), rng.Uniform(0, 100)});
+    const double fast = MinDistRectSegment(r, s);
+    double brute = 1e300;
+    for (int i = 0; i <= 64; ++i) {
+      const Vec2 p = s.At(s.Length() * i / 64.0);
+      brute = std::min(brute, MinDistRectPoint(r, p));
+    }
+    // Sampling can only overestimate the true minimum.
+    EXPECT_LE(fast, brute + 1e-9);
+    EXPECT_GE(fast, brute - 2.0);  // coarse lower sanity bound
+  }
+}
+
+TEST(MinDistRectRectTest, Cases) {
+  const Rect a({0, 0}, {10, 10});
+  EXPECT_DOUBLE_EQ(MinDistRectRect(a, Rect({5, 5}, {20, 20})), 0.0);
+  EXPECT_DOUBLE_EQ(MinDistRectRect(a, Rect({15, 0}, {20, 10})), 5.0);
+  EXPECT_DOUBLE_EQ(MinDistRectRect(a, Rect({13, 14}, {20, 20})), 5.0);
+}
+
+TEST(MaxDistRectPointTest, FarthestCorner) {
+  const Rect r({0, 0}, {10, 10});
+  EXPECT_DOUBLE_EQ(MaxDistRectPoint(r, {0, 0}), std::sqrt(200.0));
+  EXPECT_DOUBLE_EQ(MaxDistRectPoint(r, {-3, -4}), std::hypot(13.0, 14.0));
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace conn

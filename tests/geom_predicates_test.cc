@@ -1,0 +1,147 @@
+// Unit tests for orientation, intersection, clipping, and the visibility
+// blocking predicate (SegmentCrossesInterior) — the geometric bedrock of
+// Definition 1's visibility semantics.
+
+#include <gtest/gtest.h>
+
+#include "geom/predicates.h"
+
+namespace conn {
+namespace geom {
+namespace {
+
+TEST(OrientationTest, Basic) {
+  EXPECT_EQ(Orientation({0, 0}, {1, 0}, {0, 1}), 1);   // CCW
+  EXPECT_EQ(Orientation({0, 0}, {0, 1}, {1, 0}), -1);  // CW
+  EXPECT_EQ(Orientation({0, 0}, {1, 1}, {2, 2}), 0);   // collinear
+}
+
+TEST(SegmentsIntersectTest, ProperCrossing) {
+  EXPECT_TRUE(SegmentsIntersect(Segment({0, 0}, {4, 4}),
+                                Segment({0, 4}, {4, 0})));
+}
+
+TEST(SegmentsIntersectTest, Disjoint) {
+  EXPECT_FALSE(SegmentsIntersect(Segment({0, 0}, {1, 1}),
+                                 Segment({2, 2}, {3, 3})));
+  EXPECT_FALSE(SegmentsIntersect(Segment({0, 0}, {1, 0}),
+                                 Segment({0, 1}, {1, 1})));
+}
+
+TEST(SegmentsIntersectTest, EndpointTouch) {
+  EXPECT_TRUE(SegmentsIntersect(Segment({0, 0}, {2, 2}),
+                                Segment({2, 2}, {4, 0})));
+}
+
+TEST(SegmentsIntersectTest, CollinearOverlap) {
+  EXPECT_TRUE(SegmentsIntersect(Segment({0, 0}, {4, 0}),
+                                Segment({2, 0}, {6, 0})));
+  EXPECT_FALSE(SegmentsIntersect(Segment({0, 0}, {1, 0}),
+                                 Segment({2, 0}, {3, 0})));
+}
+
+TEST(ClipSegmentTest, FullyInside) {
+  double t0, t1;
+  ASSERT_TRUE(ClipSegmentToRect(Segment({2, 2}, {3, 3}),
+                                Rect({0, 0}, {10, 10}), &t0, &t1));
+  EXPECT_DOUBLE_EQ(t0, 0.0);
+  EXPECT_DOUBLE_EQ(t1, 1.0);
+}
+
+TEST(ClipSegmentTest, CrossingThrough) {
+  double t0, t1;
+  ASSERT_TRUE(ClipSegmentToRect(Segment({-5, 5}, {15, 5}),
+                                Rect({0, 0}, {10, 10}), &t0, &t1));
+  EXPECT_DOUBLE_EQ(t0, 0.25);
+  EXPECT_DOUBLE_EQ(t1, 0.75);
+}
+
+TEST(ClipSegmentTest, Miss) {
+  double t0, t1;
+  EXPECT_FALSE(ClipSegmentToRect(Segment({-5, 20}, {15, 20}),
+                                 Rect({0, 0}, {10, 10}), &t0, &t1));
+}
+
+TEST(ClipSegmentTest, GrazingCorner) {
+  double t0, t1;
+  // Diagonal through the corner (10,10) exactly.
+  ASSERT_TRUE(ClipSegmentToRect(Segment({5, 15}, {15, 5}),
+                                Rect({0, 0}, {10, 10}), &t0, &t1));
+  EXPECT_NEAR(t0, t1, 1e-12);  // single touching point
+}
+
+TEST(SegmentCrossesInteriorTest, ThroughTheMiddle) {
+  EXPECT_TRUE(SegmentCrossesInterior(Segment({-5, 5}, {15, 5}),
+                                     Rect({0, 0}, {10, 10})));
+}
+
+TEST(SegmentCrossesInteriorTest, AlongEdgeIsAllowed) {
+  // Grazing along the boundary must NOT block (shortest paths hug edges).
+  EXPECT_FALSE(SegmentCrossesInterior(Segment({0, 0}, {10, 0}),
+                                      Rect({0, 0}, {10, 10})));
+  EXPECT_FALSE(SegmentCrossesInterior(Segment({-5, 10}, {15, 10}),
+                                      Rect({0, 0}, {10, 10})));
+}
+
+TEST(SegmentCrossesInteriorTest, ThroughCornerIsAllowed) {
+  EXPECT_FALSE(SegmentCrossesInterior(Segment({5, 15}, {15, 5}),
+                                      Rect({0, 0}, {10, 10})));
+}
+
+TEST(SegmentCrossesInteriorTest, DiagonalOfTheRectBlocks) {
+  // Corner-to-corner diagonal passes through the interior.
+  EXPECT_TRUE(SegmentCrossesInterior(Segment({0, 0}, {10, 10}),
+                                     Rect({0, 0}, {10, 10})));
+}
+
+TEST(SegmentCrossesInteriorTest, EndpointStrictlyInsideBlocks) {
+  EXPECT_TRUE(SegmentCrossesInterior(Segment({5, 5}, {20, 5}),
+                                     Rect({0, 0}, {10, 10})));
+  EXPECT_TRUE(SegmentCrossesInterior(Segment({4, 4}, {6, 6}),
+                                     Rect({0, 0}, {10, 10})));
+}
+
+TEST(SegmentCrossesInteriorTest, EndpointOnBoundaryAllowed) {
+  // From a corner to the outside without entering.
+  EXPECT_FALSE(SegmentCrossesInterior(Segment({10, 10}, {20, 20}),
+                                      Rect({0, 0}, {10, 10})));
+  // From one edge point leaving perpendicular.
+  EXPECT_FALSE(SegmentCrossesInterior(Segment({5, 10}, {5, 20}),
+                                      Rect({0, 0}, {10, 10})));
+}
+
+TEST(SegmentCrossesInteriorTest, DegenerateThinObstacleNeverBlocks) {
+  // A rectangle thinner than 2*eps has no interior under our policy.
+  EXPECT_FALSE(SegmentCrossesInterior(Segment({-5, 0.5}, {5, 0.5}),
+                                      Rect({0, 0.5 - 1e-9}, {10, 0.5 + 1e-9})));
+}
+
+TEST(PointInInteriorTest, Basic) {
+  const Rect r({0, 0}, {10, 10});
+  EXPECT_TRUE(PointInInterior({5, 5}, r));
+  EXPECT_FALSE(PointInInterior({0, 5}, r));    // on edge
+  EXPECT_FALSE(PointInInterior({10, 10}, r));  // corner
+  EXPECT_FALSE(PointInInterior({-1, 5}, r));
+}
+
+TEST(PointInTriangleTest, InsideOutsideBoundary) {
+  const Vec2 a{0, 0}, b{10, 0}, c{0, 10};
+  EXPECT_TRUE(PointInTriangle(a, b, c, {2, 2}));
+  EXPECT_TRUE(PointInTriangle(a, b, c, {5, 0}));  // on edge counts
+  EXPECT_TRUE(PointInTriangle(a, b, c, {0, 0}));  // vertex counts
+  EXPECT_FALSE(PointInTriangle(a, b, c, {6, 6}));
+  EXPECT_FALSE(PointInTriangle(a, b, c, {-1, 5}));
+  // Winding order must not matter.
+  EXPECT_TRUE(PointInTriangle(c, b, a, {2, 2}));
+}
+
+TEST(SegmentIntersectsRectTest, TouchCountsAsIntersect) {
+  EXPECT_TRUE(SegmentIntersectsRect(Segment({-5, 0}, {5, 0}),
+                                    Rect({0, 0}, {10, 10})));
+  EXPECT_FALSE(SegmentIntersectsRect(Segment({-5, -1}, {5, -1}),
+                                     Rect({0, 0}, {10, 10})));
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace conn

@@ -1,0 +1,142 @@
+// Unit tests for Vec2, Rect, and Segment primitives.
+
+#include <gtest/gtest.h>
+
+#include "geom/box.h"
+#include "geom/segment.h"
+#include "geom/vec.h"
+
+namespace conn {
+namespace geom {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -4.0};
+  EXPECT_EQ(a + b, Vec2(4.0, -2.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 6.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(b / 2.0, Vec2(1.5, -2.0));
+}
+
+TEST(Vec2Test, DotAndCross) {
+  const Vec2 a{1.0, 2.0}, b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 11.0);
+  EXPECT_DOUBLE_EQ(a.Cross(b), -2.0);
+  EXPECT_DOUBLE_EQ(a.Cross(a), 0.0);
+}
+
+TEST(Vec2Test, NormAndNormalize) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.Norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  const Vec2 u = v.Normalized();
+  EXPECT_NEAR(u.Norm(), 1.0, 1e-15);
+  EXPECT_NEAR(u.x, 0.6, 1e-15);
+}
+
+TEST(Vec2Test, Perp) {
+  const Vec2 v{2.0, 1.0};
+  EXPECT_DOUBLE_EQ(v.Dot(v.Perp()), 0.0);
+  EXPECT_GT(v.Cross(v.Perp()), 0.0);  // CCW
+}
+
+TEST(Vec2Test, Dist) {
+  EXPECT_DOUBLE_EQ(Dist({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Dist2({1, 1}, {2, 2}), 2.0);
+}
+
+TEST(RectTest, BasicProperties) {
+  const Rect r({1.0, 2.0}, {4.0, 6.0});
+  EXPECT_TRUE(r.IsValid());
+  EXPECT_DOUBLE_EQ(r.Width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.Height(), 4.0);
+  EXPECT_DOUBLE_EQ(r.Area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 14.0);
+  EXPECT_EQ(r.Center(), Vec2(2.5, 4.0));
+}
+
+TEST(RectTest, EmptyIsIdentityForCover) {
+  const Rect e = Rect::Empty();
+  EXPECT_FALSE(e.IsValid());
+  const Rect r({1, 1}, {2, 2});
+  EXPECT_EQ(e.ExpandedToCover(r), r);
+}
+
+TEST(RectTest, ContainsPoint) {
+  const Rect r({0, 0}, {10, 10});
+  EXPECT_TRUE(r.Contains(Vec2{5, 5}));
+  EXPECT_TRUE(r.Contains(Vec2{0, 0}));    // boundary inclusive
+  EXPECT_TRUE(r.Contains(Vec2{10, 10}));  // boundary inclusive
+  EXPECT_FALSE(r.Contains(Vec2{10.001, 5}));
+}
+
+TEST(RectTest, ContainsRect) {
+  const Rect outer({0, 0}, {10, 10});
+  EXPECT_TRUE(outer.Contains(Rect({1, 1}, {9, 9})));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Rect({5, 5}, {11, 9})));
+}
+
+TEST(RectTest, IntersectionAndOverlap) {
+  const Rect a({0, 0}, {4, 4});
+  const Rect b({2, 2}, {6, 6});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_EQ(a.Intersection(b), Rect({2, 2}, {4, 4}));
+  EXPECT_DOUBLE_EQ(a.OverlapArea(b), 4.0);
+  const Rect c({5, 5}, {6, 6});
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_DOUBLE_EQ(a.OverlapArea(c), 0.0);
+  // Touching edges count as intersecting but have zero overlap area.
+  const Rect d({4, 0}, {8, 4});
+  EXPECT_TRUE(a.Intersects(d));
+  EXPECT_DOUBLE_EQ(a.OverlapArea(d), 0.0);
+}
+
+TEST(RectTest, FromCornersNormalizesOrder) {
+  EXPECT_EQ(Rect::FromCorners({4, 1}, {1, 5}), Rect({1, 1}, {4, 5}));
+}
+
+TEST(RectTest, CornersAreCcw) {
+  const Rect r({0, 0}, {2, 1});
+  const auto c = r.Corners();
+  double area2 = 0.0;
+  for (int i = 0; i < 4; ++i) area2 += c[i].Cross(c[(i + 1) % 4]);
+  EXPECT_GT(area2, 0.0);  // positive signed area => counter-clockwise
+}
+
+TEST(SegmentTest, LengthAndAt) {
+  const Segment s({0, 0}, {6, 8});
+  EXPECT_DOUBLE_EQ(s.Length(), 10.0);
+  EXPECT_EQ(s.At(0.0), Vec2(0, 0));
+  EXPECT_EQ(s.At(10.0), Vec2(6, 8));
+  EXPECT_NEAR(s.At(5.0).x, 3.0, 1e-12);
+  EXPECT_NEAR(s.At(5.0).y, 4.0, 1e-12);
+}
+
+TEST(SegmentTest, ZeroLength) {
+  const Segment s({2, 3}, {2, 3});
+  EXPECT_DOUBLE_EQ(s.Length(), 0.0);
+  EXPECT_EQ(s.At(0.0), Vec2(2, 3));
+  EXPECT_EQ(s.At(5.0), Vec2(2, 3));  // any parameter maps to the point
+  EXPECT_DOUBLE_EQ(s.ProjectParam({9, 9}), 0.0);
+}
+
+TEST(SegmentTest, ProjectionAndLineDistance) {
+  const Segment s({0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(s.ProjectParam({3, 5}), 3.0);
+  EXPECT_DOUBLE_EQ(s.ProjectParam({-2, 1}), -2.0);  // unclamped
+  EXPECT_DOUBLE_EQ(s.LineDistance({3, 5}), 5.0);
+  EXPECT_DOUBLE_EQ(s.LineDistance({3, -5}), 5.0);  // unsigned
+}
+
+TEST(SegmentTest, BoundsAndReversed) {
+  const Segment s({5, 1}, {2, 7});
+  EXPECT_EQ(s.Bounds(), Rect({2, 1}, {5, 7}));
+  EXPECT_EQ(s.Reversed().a, s.b);
+  EXPECT_EQ(s.Reversed().b, s.a);
+}
+
+}  // namespace
+}  // namespace geom
+}  // namespace conn

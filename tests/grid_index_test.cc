@@ -1,0 +1,91 @@
+// Unit tests for the uniform grid over local obstacles: candidate queries
+// must be supersets of the exact answers (conservativeness) and deduplicated.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/predicates.h"
+#include "vis/grid_index.h"
+
+namespace conn {
+namespace vis {
+namespace {
+
+TEST(GridIndexTest, PointQueryFindsCoveringItems) {
+  GridIndex grid(geom::Rect({0, 0}, {100, 100}), 10);
+  grid.Insert(0, geom::Rect({5, 5}, {15, 15}));
+  grid.Insert(1, geom::Rect({50, 50}, {60, 60}));
+  std::vector<uint32_t> out;
+  grid.CandidatesAtPoint({10, 10}, &out);
+  EXPECT_TRUE(std::count(out.begin(), out.end(), 0u) == 1);
+  out.clear();
+  grid.CandidatesAtPoint({55, 55}, &out);
+  EXPECT_TRUE(std::count(out.begin(), out.end(), 1u) == 1);
+}
+
+TEST(GridIndexTest, RectQueryIsConservative) {
+  GridIndex grid(geom::Rect({0, 0}, {100, 100}), 8);
+  grid.Insert(0, geom::Rect({5, 5}, {15, 15}));
+  grid.Insert(1, geom::Rect({80, 80}, {90, 90}));
+  std::vector<uint32_t> out;
+  grid.CandidatesInRect(geom::Rect({0, 0}, {20, 20}), &out);
+  EXPECT_EQ(std::count(out.begin(), out.end(), 0u), 1);
+}
+
+TEST(GridIndexTest, NoDuplicatesForSpanningItems) {
+  GridIndex grid(geom::Rect({0, 0}, {100, 100}), 16);
+  grid.Insert(0, geom::Rect({0, 0}, {100, 100}));  // spans every cell
+  std::vector<uint32_t> out;
+  grid.CandidatesInRect(geom::Rect({0, 0}, {100, 100}), &out);
+  EXPECT_EQ(out.size(), 1u);
+  out.clear();
+  grid.CandidatesAlongSegment(geom::Segment({0, 0}, {100, 100}), &out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(GridIndexTest, ItemsOutsideDomainAreClamped) {
+  GridIndex grid(geom::Rect({0, 0}, {100, 100}), 4);
+  grid.Insert(0, geom::Rect({150, 150}, {160, 160}));  // outside
+  std::vector<uint32_t> out;
+  grid.CandidatesAtPoint({99, 99}, &out);  // border cell
+  EXPECT_EQ(out.size(), 1u);  // clamped into the corner cell, still findable
+}
+
+class GridSegmentProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GridSegmentProperty, SegmentCandidatesAreSupersetOfIntersecting) {
+  Rng rng(GetParam());
+  const geom::Rect domain({0, 0}, {1000, 1000});
+  GridIndex grid(domain, 32);
+  std::vector<geom::Rect> rects;
+  for (uint32_t i = 0; i < 200; ++i) {
+    const geom::Vec2 lo{rng.Uniform(0, 950), rng.Uniform(0, 950)};
+    rects.push_back(geom::Rect(
+        lo, {lo.x + rng.Uniform(1, 50), lo.y + rng.Uniform(1, 50)}));
+    grid.Insert(i, rects.back());
+  }
+  for (int qi = 0; qi < 50; ++qi) {
+    const geom::Segment s({rng.Uniform(0, 1000), rng.Uniform(0, 1000)},
+                          {rng.Uniform(0, 1000), rng.Uniform(0, 1000)});
+    std::vector<uint32_t> cand;
+    grid.CandidatesAlongSegment(s, &cand);
+    const std::set<uint32_t> cand_set(cand.begin(), cand.end());
+    EXPECT_EQ(cand_set.size(), cand.size()) << "duplicates returned";
+    for (uint32_t i = 0; i < rects.size(); ++i) {
+      if (geom::SegmentIntersectsRect(s, rects[i])) {
+        EXPECT_TRUE(cand_set.count(i))
+            << "grid missed intersecting obstacle " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridSegmentProperty,
+                         ::testing::Range<uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace vis
+}  // namespace conn

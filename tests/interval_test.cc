@@ -1,0 +1,158 @@
+// Unit and property tests for Interval and IntervalSet — the algebra every
+// visible region, control point list, and result list is built on.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/interval_set.h"
+
+namespace conn {
+namespace geom {
+namespace {
+
+TEST(IntervalTest, EmptyAndLength) {
+  EXPECT_TRUE(Interval().IsEmpty());
+  EXPECT_FALSE(Interval(1, 2).IsEmpty());
+  EXPECT_DOUBLE_EQ(Interval(1, 4).Length(), 3.0);
+  EXPECT_DOUBLE_EQ(Interval(4, 1).Length(), 0.0);
+}
+
+TEST(IntervalTest, ContainsAndIntersect) {
+  const Interval iv(2, 5);
+  EXPECT_TRUE(iv.Contains(2));
+  EXPECT_TRUE(iv.Contains(5));
+  EXPECT_FALSE(iv.Contains(5.0001));
+  EXPECT_EQ(iv.Intersect(Interval(4, 9)), Interval(4, 5));
+  EXPECT_TRUE(iv.Intersect(Interval(6, 9)).IsEmpty());
+}
+
+TEST(IntervalTest, OverlapsProperly) {
+  EXPECT_TRUE(Interval(0, 5).OverlapsProperly(Interval(4, 9)));
+  EXPECT_FALSE(Interval(0, 5).OverlapsProperly(Interval(5, 9)));  // touch
+}
+
+TEST(IntervalSetTest, NormalizationMergesAndSorts) {
+  const IntervalSet s({Interval(5, 7), Interval(0, 2), Interval(1.5, 4)});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.intervals()[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(s.intervals()[0].hi, 4.0);
+  EXPECT_DOUBLE_EQ(s.intervals()[1].lo, 5.0);
+}
+
+TEST(IntervalSetTest, DropsSlivers) {
+  const IntervalSet s({Interval(0, 1e-9), Interval(5, 5)});
+  EXPECT_TRUE(s.IsEmpty());
+}
+
+TEST(IntervalSetTest, UnionIntersectSubtract) {
+  const IntervalSet a({Interval(0, 4), Interval(6, 10)});
+  const IntervalSet b({Interval(3, 7)});
+  const IntervalSet u = a.Union(b);
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_DOUBLE_EQ(u.TotalLength(), 10.0);
+
+  const IntervalSet i = a.Intersect(b);
+  ASSERT_EQ(i.size(), 2u);
+  EXPECT_DOUBLE_EQ(i.intervals()[0].lo, 3.0);
+  EXPECT_DOUBLE_EQ(i.intervals()[0].hi, 4.0);
+  EXPECT_DOUBLE_EQ(i.intervals()[1].lo, 6.0);
+  EXPECT_DOUBLE_EQ(i.intervals()[1].hi, 7.0);
+
+  const IntervalSet d = a.Subtract(b);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.intervals()[0].hi, 3.0);
+  EXPECT_DOUBLE_EQ(d.intervals()[1].lo, 7.0);
+}
+
+TEST(IntervalSetTest, ComplementWithin) {
+  const IntervalSet s({Interval(2, 3), Interval(5, 6)});
+  const IntervalSet c = s.ComplementWithin(Interval(0, 10));
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c.TotalLength(), 8.0);
+}
+
+TEST(IntervalSetTest, ContainsBinarySearch) {
+  const IntervalSet s({Interval(0, 1), Interval(4, 5), Interval(8, 9)});
+  EXPECT_TRUE(s.Contains(0.5));
+  EXPECT_TRUE(s.Contains(4.0));
+  EXPECT_TRUE(s.Contains(9.0));
+  EXPECT_FALSE(s.Contains(2.0));
+  EXPECT_FALSE(s.Contains(9.5));
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: algebra laws on randomized sets, verified pointwise.
+// ---------------------------------------------------------------------------
+
+class IntervalSetProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static IntervalSet RandomSet(Rng* rng) {
+    std::vector<Interval> ivs;
+    const int n = 1 + static_cast<int>(rng->UniformU64(6));
+    for (int i = 0; i < n; ++i) {
+      const double lo = rng->Uniform(0.0, 90.0);
+      ivs.push_back(Interval(lo, lo + rng->Uniform(0.5, 15.0)));
+    }
+    return IntervalSet(std::move(ivs));
+  }
+
+  // Pointwise membership check at a probe grid, avoiding eps boundaries.
+  static void ExpectPointwise(const IntervalSet& got, const IntervalSet& a,
+                              const IntervalSet& b, char op) {
+    for (double t = 0.05; t < 100.0; t += 0.327) {
+      const bool in_a = a.Contains(t, 0.0);
+      const bool in_b = b.Contains(t, 0.0);
+      bool want = false;
+      switch (op) {
+        case 'u': want = in_a || in_b; break;
+        case 'i': want = in_a && in_b; break;
+        case 's': want = in_a && !in_b; break;
+      }
+      // Tolerate disagreement within eps of any boundary.
+      bool near_boundary = false;
+      for (const IntervalSet* set : {&a, &b, &got}) {
+        for (const Interval& iv : set->intervals()) {
+          if (std::abs(t - iv.lo) < 1e-3 || std::abs(t - iv.hi) < 1e-3) {
+            near_boundary = true;
+          }
+        }
+      }
+      if (near_boundary) continue;
+      EXPECT_EQ(got.Contains(t, 0.0), want) << "op=" << op << " t=" << t;
+    }
+  }
+};
+
+TEST_P(IntervalSetProperty, AlgebraLawsPointwise) {
+  Rng rng(GetParam());
+  const IntervalSet a = RandomSet(&rng);
+  const IntervalSet b = RandomSet(&rng);
+  ExpectPointwise(a.Union(b), a, b, 'u');
+  ExpectPointwise(a.Intersect(b), a, b, 'i');
+  ExpectPointwise(a.Subtract(b), a, b, 's');
+}
+
+TEST_P(IntervalSetProperty, SubtractComplementDuality) {
+  Rng rng(GetParam() ^ 0xFEED);
+  const IntervalSet a = RandomSet(&rng);
+  const Interval domain(0.0, 120.0);
+  // a - a == empty; a  union complement(a) == domain.
+  EXPECT_TRUE(a.Subtract(a).IsEmpty());
+  const IntervalSet whole = a.Union(a.ComplementWithin(domain));
+  EXPECT_NEAR(whole.TotalLength(), domain.Length(), 1e-6);
+}
+
+TEST_P(IntervalSetProperty, IntersectIsCommutative) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  const IntervalSet a = RandomSet(&rng);
+  const IntervalSet b = RandomSet(&rng);
+  EXPECT_NEAR(a.Intersect(b).TotalLength(), b.Intersect(a).TotalLength(),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetProperty,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace geom
+}  // namespace conn

@@ -1,0 +1,110 @@
+// Metamorphic properties of CONN: rigid transformations that preserve
+// axis-alignment (translation, axis mirroring, uniform scaling) must
+// transform the answer exactly — same split-point structure, distances
+// scaled accordingly.  These catch coordinate-dependence bugs no direct
+// oracle comparison would isolate.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/conn.h"
+#include "test_util.h"
+
+namespace conn {
+namespace core {
+namespace {
+
+ConnResult RunScene(const testutil::Scene& scene) {
+  const rtree::RStarTree tp = testutil::MakePointTree(scene);
+  const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
+  return ConnQuery(tp, to, scene.query);
+}
+
+void ExpectSameProfile(const ConnResult& a, const ConnResult& b,
+                       double scale = 1.0) {
+  const double len = a.query.Length();
+  ASSERT_NEAR(b.query.Length(), len * scale, 1e-6 * (1 + len));
+  for (int i = 0; i <= 200; ++i) {
+    const double t = len * i / 200.0;
+    const double da = a.OdistAt(t);
+    const double db = b.OdistAt(t * scale);
+    if (std::isinf(da) || std::isinf(db)) {
+      EXPECT_EQ(std::isinf(da), std::isinf(db)) << "t=" << t;
+    } else {
+      EXPECT_NEAR(db, da * scale, 1e-6 * (1 + da * scale)) << "t=" << t;
+    }
+  }
+}
+
+class Metamorphic : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Metamorphic, TranslationInvariance) {
+  const testutil::Scene base = testutil::MakeScene(GetParam(), 40, 15);
+  testutil::Scene moved = base;
+  const geom::Vec2 delta{137.25, -42.75};
+  for (auto& p : moved.points) p += delta;
+  for (auto& o : moved.obstacles) {
+    o.lo += delta;
+    o.hi += delta;
+  }
+  moved.query = geom::Segment(base.query.a + delta, base.query.b + delta);
+
+  ExpectSameProfile(RunScene(base), RunScene(moved));
+}
+
+TEST_P(Metamorphic, MirrorInvariance) {
+  const testutil::Scene base = testutil::MakeScene(GetParam() ^ 0xF11Bu, 40, 15);
+  testutil::Scene mirrored = base;
+  auto flip = [](geom::Vec2 p) { return geom::Vec2{2000.0 - p.x, p.y}; };
+  for (auto& p : mirrored.points) p = flip(p);
+  for (auto& o : mirrored.obstacles) {
+    o = geom::Rect::FromCorners(flip(o.lo), flip(o.hi));
+  }
+  mirrored.query = geom::Segment(flip(base.query.a), flip(base.query.b));
+
+  ExpectSameProfile(RunScene(base), RunScene(mirrored));
+}
+
+TEST_P(Metamorphic, UniformScaling) {
+  const testutil::Scene base = testutil::MakeScene(GetParam() ^ 0x5CA1E, 30, 12);
+  const double s = 2.5;
+  testutil::Scene scaled = base;
+  for (auto& p : scaled.points) p = p * s;
+  for (auto& o : scaled.obstacles) {
+    o.lo = o.lo * s;
+    o.hi = o.hi * s;
+  }
+  scaled.query = geom::Segment(base.query.a * s, base.query.b * s);
+
+  ExpectSameProfile(RunScene(base), RunScene(scaled), s);
+}
+
+TEST_P(Metamorphic, PointIdPermutationInvariance) {
+  // Shuffling the insertion order / ids must not change distances.
+  const testutil::Scene base = testutil::MakeScene(GetParam() ^ 0x9E37, 50, 10);
+  testutil::Scene shuffled = base;
+  Rng rng(GetParam());
+  for (size_t i = shuffled.points.size(); i > 1; --i) {
+    std::swap(shuffled.points[i - 1], shuffled.points[rng.UniformU64(i)]);
+  }
+  const ConnResult a = RunScene(base);
+  const ConnResult b = RunScene(shuffled);
+  const double len = base.query.Length();
+  for (int i = 0; i <= 150; ++i) {
+    const double t = len * i / 150.0;
+    const double da = a.OdistAt(t);
+    const double db = b.OdistAt(t);
+    if (std::isinf(da) || std::isinf(db)) {
+      EXPECT_EQ(std::isinf(da), std::isinf(db)) << "t=" << t;
+    } else {
+      EXPECT_NEAR(da, db, 1e-9 * (1 + da)) << "t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Metamorphic, ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace core
+}  // namespace conn

@@ -1,0 +1,103 @@
+// Tests for ObstacleSet: the visibility predicate against brute force, and
+// blocked-interval computation on segments crossing obstacles.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/predicates.h"
+#include "vis/obstacle_set.h"
+
+namespace conn {
+namespace vis {
+namespace {
+
+TEST(ObstacleSetTest, VisibleWithNoObstacles) {
+  ObstacleSet set(geom::Rect({0, 0}, {100, 100}));
+  EXPECT_TRUE(set.Visible({0, 0}, {100, 100}));
+}
+
+TEST(ObstacleSetTest, BlockedByInterior) {
+  ObstacleSet set(geom::Rect({0, 0}, {100, 100}));
+  set.Add(geom::Rect({40, 40}, {60, 60}), 0);
+  EXPECT_FALSE(set.Visible({0, 50}, {100, 50}));
+  EXPECT_TRUE(set.Visible({0, 0}, {100, 0}));
+  // Grazing the edge is allowed.
+  EXPECT_TRUE(set.Visible({0, 60}, {100, 60}));
+}
+
+TEST(ObstacleSetTest, VisibilityTestCounterIncrements) {
+  ObstacleSet set(geom::Rect({0, 0}, {100, 100}));
+  set.Add(geom::Rect({40, 40}, {60, 60}), 0);
+  uint64_t counter = 0;
+  set.Visible({0, 50}, {100, 50}, &counter);
+  EXPECT_GE(counter, 1u);
+}
+
+TEST(ObstacleSetTest, PointInAnyInterior) {
+  ObstacleSet set(geom::Rect({0, 0}, {100, 100}));
+  set.Add(geom::Rect({10, 10}, {20, 20}), 0);
+  set.Add(geom::Rect({15, 15}, {30, 30}), 1);  // overlapping
+  EXPECT_TRUE(set.PointInAnyInterior({12, 12}));
+  EXPECT_TRUE(set.PointInAnyInterior({25, 25}));
+  EXPECT_FALSE(set.PointInAnyInterior({10, 10}));  // corner: boundary
+  EXPECT_FALSE(set.PointInAnyInterior({50, 50}));
+}
+
+TEST(ObstacleSetTest, BlockedIntervalsOnSegment) {
+  ObstacleSet set(geom::Rect({0, 0}, {100, 100}));
+  set.Add(geom::Rect({20, 0}, {30, 100}), 0);
+  set.Add(geom::Rect({60, 0}, {70, 100}), 1);
+  const geom::Segment q({0, 50}, {100, 50});
+  const geom::IntervalSet blocked = set.BlockedIntervalsOnSegment(q);
+  ASSERT_EQ(blocked.size(), 2u);
+  EXPECT_NEAR(blocked.intervals()[0].lo, 20.0, 1e-5);
+  EXPECT_NEAR(blocked.intervals()[0].hi, 30.0, 1e-5);
+  EXPECT_NEAR(blocked.intervals()[1].lo, 60.0, 1e-5);
+  EXPECT_NEAR(blocked.intervals()[1].hi, 70.0, 1e-5);
+}
+
+TEST(ObstacleSetTest, BlockedIntervalsMergeOverlappingObstacles) {
+  ObstacleSet set(geom::Rect({0, 0}, {100, 100}));
+  set.Add(geom::Rect({20, 0}, {50, 100}), 0);
+  set.Add(geom::Rect({40, 0}, {70, 100}), 1);
+  const geom::IntervalSet blocked =
+      set.BlockedIntervalsOnSegment(geom::Segment({0, 50}, {100, 50}));
+  ASSERT_EQ(blocked.size(), 1u);
+  EXPECT_NEAR(blocked.TotalLength(), 50.0, 1e-5);
+}
+
+class ObstacleSetVisibilityProperty
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ObstacleSetVisibilityProperty, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const geom::Rect domain({0, 0}, {1000, 1000});
+  ObstacleSet set(domain, 32);
+  std::vector<geom::Rect> rects;
+  for (uint32_t i = 0; i < 120; ++i) {
+    const geom::Vec2 lo{rng.Uniform(0, 950), rng.Uniform(0, 950)};
+    rects.push_back(
+        geom::Rect(lo, {lo.x + rng.Uniform(2, 60), lo.y + rng.Uniform(2, 60)}));
+    set.Add(rects.back(), i);
+  }
+  for (int qi = 0; qi < 300; ++qi) {
+    const geom::Vec2 a{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    const geom::Vec2 b{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+    bool brute = true;
+    for (const geom::Rect& r : rects) {
+      if (geom::SegmentCrossesInterior(geom::Segment(a, b), r)) {
+        brute = false;
+        break;
+      }
+    }
+    EXPECT_EQ(set.Visible(a, b), brute) << "a=(" << a.x << "," << a.y
+                                        << ") b=(" << b.x << "," << b.y << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObstacleSetVisibilityProperty,
+                         ::testing::Range<uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace vis
+}  // namespace conn

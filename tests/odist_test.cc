@@ -1,0 +1,145 @@
+// Tests for IOR (Algorithm 1): obstacle retrieval bounds, reuse of the
+// shared visibility graph across data points, and exactness of the
+// resulting obstructed distances against the full-graph oracle.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/naive.h"
+#include "core/odist.h"
+#include "test_util.h"
+#include "vis/dijkstra.h"
+
+namespace conn {
+namespace core {
+namespace {
+
+TEST(IorTest, NoObstaclesDirectDistance) {
+  const geom::Rect domain({0, 0}, {1000, 1000});
+  vis::VisGraph vg(domain);
+  const vis::VertexId s = vg.AddFixedVertex({0, 0});
+  const vis::VertexId e = vg.AddFixedVertex({100, 0});
+
+  rtree::RStarTree empty_obstacles;
+  TreeObstacleSource source(empty_obstacles, geom::Segment({0, 0}, {100, 0}));
+  double retrieved = 0.0;
+  QueryStats stats;
+  const double d = IncrementalObstacleRetrieval(&source, &vg, {s, e},
+                                                {50, 40}, &retrieved, &stats);
+  // max over targets of the direct distances.
+  EXPECT_NEAR(d, std::hypot(50, 40), 1e-12);
+  EXPECT_EQ(stats.obstacles_evaluated, 0u);
+}
+
+TEST(IorTest, FetchesOnlyObstaclesWithinPathBound) {
+  const geom::Rect domain({0, 0}, {1000, 1000});
+  QueryStats stats;
+  vis::VisGraph vg(domain, &stats);  // NOE is counted by the graph
+  const vis::VertexId s = vg.AddFixedVertex({400, 500});
+  const vis::VertexId e = vg.AddFixedVertex({600, 500});
+  const geom::Segment q({400, 500}, {600, 500});
+
+  // One blocking wall near the query; one obstacle far away that can never
+  // affect the result and must not be retrieved.
+  rtree::RStarTree obstacles;
+  ASSERT_TRUE(obstacles
+                  .Insert(rtree::DataObject::Obstacle(
+                      geom::Rect({490, 480}, {510, 520}), 0))
+                  .ok());
+  ASSERT_TRUE(obstacles
+                  .Insert(rtree::DataObject::Obstacle(
+                      geom::Rect({50, 50}, {60, 60}), 1))
+                  .ok());
+
+  TreeObstacleSource source(obstacles, q);
+  double retrieved = 0.0;
+  const double d = IncrementalObstacleRetrieval(&source, &vg, {s, e},
+                                                {500, 530}, &retrieved, &stats);
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_EQ(stats.obstacles_evaluated, 1u);  // the far obstacle stayed out
+  EXPECT_EQ(vg.ObstacleCount(), 1u);
+}
+
+TEST(IorTest, GraphIsReusedAcrossDataPoints) {
+  const geom::Rect domain({0, 0}, {1000, 1000});
+  QueryStats stats;
+  vis::VisGraph vg(domain, &stats);
+  const vis::VertexId s = vg.AddFixedVertex({400, 500});
+  const vis::VertexId e = vg.AddFixedVertex({600, 500});
+  const geom::Segment q({400, 500}, {600, 500});
+
+  rtree::RStarTree obstacles;
+  ASSERT_TRUE(obstacles
+                  .Insert(rtree::DataObject::Obstacle(
+                      geom::Rect({490, 480}, {510, 520}), 0))
+                  .ok());
+
+  TreeObstacleSource source(obstacles, q);
+  double retrieved = 0.0;
+  IncrementalObstacleRetrieval(&source, &vg, {s, e}, {500, 530}, &retrieved,
+                               &stats);
+  const uint64_t noe_after_first = stats.obstacles_evaluated;
+  // A second, closer point must not trigger any further retrieval.
+  IncrementalObstacleRetrieval(&source, &vg, {s, e}, {500, 525}, &retrieved,
+                               &stats);
+  EXPECT_EQ(stats.obstacles_evaluated, noe_after_first);
+}
+
+TEST(IorTest, UnreachableTargetDrainsAndReturnsInfinity) {
+  const geom::Rect domain({0, 0}, {1000, 1000});
+  QueryStats stats;
+  vis::VisGraph vg(domain, &stats);
+  // Target sealed in a box.
+  const vis::VertexId t = vg.AddFixedVertex({500, 500});
+  rtree::RStarTree obstacles;
+  const geom::Rect walls[] = {geom::Rect({450, 450}, {550, 460}),
+                              geom::Rect({450, 540}, {550, 550}),
+                              geom::Rect({450, 450}, {460, 550}),
+                              geom::Rect({540, 450}, {550, 550})};
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(obstacles.Insert(rtree::DataObject::Obstacle(walls[i], i)).ok());
+  }
+  TreeObstacleSource source(obstacles,
+                            geom::Segment({500, 500}, {500, 500}));
+  double retrieved = 0.0;
+  const double d = IncrementalObstacleRetrieval(&source, &vg, {t}, {0, 0},
+                                                &retrieved, &stats);
+  EXPECT_TRUE(std::isinf(d));
+  EXPECT_EQ(stats.obstacles_evaluated, 4u);  // full drain, then stop
+}
+
+// IOR distances must equal the ground-truth obstructed distance.
+class IorVsOracle : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IorVsOracle, ExactObstructedDistances) {
+  const testutil::Scene scene = testutil::MakeScene(GetParam(), 12, 25);
+  const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
+  const NaiveOracle oracle({}, scene.obstacles);
+
+  const geom::Rect domain({-100, -100}, {1100, 1100});
+  vis::VisGraph vg(domain);
+  const vis::VertexId s = vg.AddFixedVertex(scene.query.a);
+  const vis::VertexId e = vg.AddFixedVertex(scene.query.b);
+  TreeObstacleSource source(to, scene.query);
+  double retrieved = 0.0;
+  QueryStats stats;
+
+  for (const geom::Vec2& p : scene.points) {
+    const double d = IncrementalObstacleRetrieval(&source, &vg, {s, e}, p,
+                                                  &retrieved, &stats);
+    const double want =
+        std::max(oracle.Odist(p, scene.query.a), oracle.Odist(p, scene.query.b));
+    if (std::isinf(want)) {
+      EXPECT_TRUE(std::isinf(d));
+    } else {
+      EXPECT_NEAR(d, want, 1e-6) << "p=(" << p.x << "," << p.y << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IorVsOracle, ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace core
+}  // namespace conn

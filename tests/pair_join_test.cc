@@ -1,0 +1,110 @@
+// Tests for the incremental Euclidean pair distance join.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rtree/pair_join.h"
+#include "rtree/str_bulk_load.h"
+
+namespace conn {
+namespace rtree {
+namespace {
+
+RStarTree MakeTree(const std::vector<geom::Vec2>& pts) {
+  std::vector<DataObject> objs;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    objs.push_back(DataObject::Point(pts[i], i));
+  }
+  return std::move(StrBulkLoad(objs)).value();
+}
+
+TEST(PairJoinTest, EmptyTreesYieldNothing) {
+  RStarTree empty_a, empty_b;
+  PairDistanceJoin join(empty_a, empty_b);
+  DataObject a, b;
+  double d;
+  EXPECT_TRUE(std::isinf(join.PeekDist()));
+  EXPECT_FALSE(join.Next(&a, &b, &d));
+}
+
+TEST(PairJoinTest, SmallCrossProductAscending) {
+  const RStarTree ta = MakeTree({{0, 0}, {10, 0}});
+  const RStarTree tb = MakeTree({{1, 0}, {20, 0}});
+  PairDistanceJoin join(ta, tb);
+  DataObject a, b;
+  double d;
+  std::vector<double> dists;
+  while (join.Next(&a, &b, &d)) dists.push_back(d);
+  ASSERT_EQ(dists.size(), 4u);  // full cross product
+  // 0-1: 1; 10-1: 9; 10-20: 10; 0-20: 20.
+  EXPECT_DOUBLE_EQ(dists[0], 1.0);
+  EXPECT_DOUBLE_EQ(dists[1], 9.0);
+  EXPECT_DOUBLE_EQ(dists[2], 10.0);
+  EXPECT_DOUBLE_EQ(dists[3], 20.0);
+}
+
+class PairJoinProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PairJoinProperty, MatchesBruteForceOrder) {
+  Rng rng(GetParam());
+  std::vector<geom::Vec2> pa, pb;
+  const size_t na = 40 + rng.UniformU64(80), nb = 40 + rng.UniformU64(80);
+  for (size_t i = 0; i < na; ++i) {
+    pa.push_back({rng.Uniform(0, 500), rng.Uniform(0, 500)});
+  }
+  for (size_t i = 0; i < nb; ++i) {
+    pb.push_back({rng.Uniform(0, 500), rng.Uniform(0, 500)});
+  }
+  const RStarTree ta = MakeTree(pa);
+  const RStarTree tb = MakeTree(pb);
+
+  std::vector<double> want;
+  for (const auto& x : pa) {
+    for (const auto& y : pb) want.push_back(geom::Dist(x, y));
+  }
+  std::sort(want.begin(), want.end());
+
+  PairDistanceJoin join(ta, tb);
+  DataObject a, b;
+  double d;
+  size_t idx = 0;
+  double prev = -1.0;
+  while (join.Next(&a, &b, &d)) {
+    ASSERT_LT(idx, want.size());
+    EXPECT_NEAR(d, want[idx], 1e-9) << "rank " << idx;
+    EXPECT_NEAR(d, geom::Dist(pa[a.id], pb[b.id]), 1e-9);
+    EXPECT_GE(d, prev - 1e-12);
+    prev = d;
+    ++idx;
+  }
+  EXPECT_EQ(idx, want.size());
+}
+
+TEST_P(PairJoinProperty, PeekNeverOvershoots) {
+  Rng rng(GetParam() ^ 0x77);
+  std::vector<geom::Vec2> pa, pb;
+  for (int i = 0; i < 60; ++i) {
+    pa.push_back({rng.Uniform(0, 300), rng.Uniform(0, 300)});
+    pb.push_back({rng.Uniform(0, 300), rng.Uniform(0, 300)});
+  }
+  const RStarTree ta = MakeTree(pa);
+  const RStarTree tb = MakeTree(pb);
+  PairDistanceJoin join(ta, tb);
+  DataObject a, b;
+  double d;
+  for (int i = 0; i < 200; ++i) {
+    const double peek = join.PeekDist();
+    ASSERT_TRUE(join.Next(&a, &b, &d));
+    EXPECT_DOUBLE_EQ(peek, d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairJoinProperty,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace rtree
+}  // namespace conn

@@ -1,0 +1,208 @@
+// Paper-fidelity suite: scenes built after the paper's own figures and
+// worked examples, asserting the qualitative claims made in the text.
+// Exact coordinates are not published, so the scenes reproduce each
+// figure's *configuration* and the tests check the *stated outcome*.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/cnn.h"
+#include "core/conn.h"
+#include "core/cpl.h"
+#include "core/naive.h"
+#include "core/odist.h"
+#include "core/onn.h"
+#include "test_util.h"
+#include "vis/visible_region.h"
+
+namespace conn {
+namespace core {
+namespace {
+
+using geom::Rect;
+
+// ---------------------------------------------------------------------------
+// Figure 1: "the split points s1, s2, s3 defined by a CNN search are
+// different from the split points s1', s2', s3' defined by a CONN search.
+// In addition, the answer objects vary as well.  For example, object d is
+// the NN for S in a Euclidean space, whereas it is not the ONN for S."
+// ---------------------------------------------------------------------------
+TEST(PaperFigure1, ConnDiffersFromCnnInBothSplitsAndAnswers) {
+  testutil::Scene scene;
+  // Stations roughly as drawn: a, b, g, c above the highway; d, f below.
+  scene.points = {
+      {120, 110},   // 0: a  (dist 117 from S: second in Euclidean terms)
+      {380, 170},   // 1: b
+      {860, 150},   // 2: c
+      {140, -60},   // 3: d  (dist 85 from S: the Euclidean NN of S)
+      {600, -200},  // 4: f
+      {620, 140},   // 5: g
+  };
+  // o3 sits between the highway and d: the detour around its left end
+  // costs ~127, more than the unobstructed 117 to a.
+  scene.obstacles = {
+      Rect({60, -40}, {400, -10}),   // o3: wall in front of d
+      Rect({330, 40}, {480, 90}),    // o1
+      Rect({540, 45}, {690, 95}),    // o2
+      Rect({740, 170}, {850, 240}),  // o4
+  };
+  const rtree::RStarTree tp = testutil::MakePointTree(scene);
+  const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
+  const geom::Segment q({80, 0}, {900, 0});
+
+  const ConnResult conn = ConnQuery(tp, to, q);
+  const ConnResult cnn = CnnQuery(tp, q);
+
+  // d is the Euclidean NN of S...
+  EXPECT_EQ(cnn.OnnAt(0.0), 3);
+  // ...but NOT the obstructed NN of S (o3 blocks it).
+  EXPECT_NE(conn.OnnAt(0.0), 3);
+
+  // The split-point sets differ.
+  const auto s_conn = conn.SplitParams();
+  const auto s_cnn = cnn.SplitParams();
+  bool any_difference = s_conn.size() != s_cnn.size();
+  for (size_t i = 0; !any_difference && i < s_conn.size(); ++i) {
+    if (std::abs(s_conn[i] - s_cnn[i]) > 1.0) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+// ---------------------------------------------------------------------------
+// Section 1 / Figure 1(b): "their Euclidean distance is the length of
+// segment [a, g], whereas their obstructed distance is the summation of
+// the lengths of [a, m] and [m, g]" — one bend around an obstacle corner.
+// ---------------------------------------------------------------------------
+TEST(PaperFigure1, ObstructedDistanceBendsAtOneCorner) {
+  const geom::Vec2 a{0, 0}, g{100, 0};
+  const geom::Rect o4({40, -30}, {60, 10});  // blocks the straight [a, g]
+  NaiveOracle oracle({}, {o4});
+  const double od = oracle.Odist(a, g);
+  EXPECT_GT(od, geom::Dist(a, g));
+  // The obstacle straddles the supporting line of [a, g], so the shortest
+  // path wraps a pair of same-side corners (m of the figure):
+  const double via_top = geom::Dist(a, {40, 10}) +
+                         geom::Dist({40, 10}, {60, 10}) +
+                         geom::Dist({60, 10}, g);
+  const double via_bottom = geom::Dist(a, {40, -30}) +
+                            geom::Dist({40, -30}, {60, -30}) +
+                            geom::Dist({60, -30}, g);
+  EXPECT_NEAR(od, std::min(via_top, via_bottom), 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: the control point list of p over q decomposes q into intervals
+// with distinct control points; the shortest path to the shadowed interval
+// passes through an obstacle corner ("point a is the control point for
+// point p over segment [s1, s2] ... ||p, p'|| equals ||p, a|| + dist(a, p')").
+// ---------------------------------------------------------------------------
+TEST(PaperFigure3, ControlPointDecomposition) {
+  testutil::Scene scene;
+  scene.points = {{20, 80}};  // p, up and to the left
+  scene.obstacles = {
+      Rect({30, 30}, {60, 60}),   // o1: shadows the middle of q from p
+      Rect({70, 20}, {90, 50}),   // o2: shadows the right end
+  };
+  const rtree::RStarTree tp = testutil::MakePointTree(scene);
+  const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
+  const geom::Segment q({0, 0}, {100, 0});
+  const ConnResult r = ConnQuery(tp, to, q);
+
+  // Several control-point pieces, all owned by the single point p.
+  ASSERT_GE(r.tuples.size(), 2u);
+  const NaiveOracle oracle({}, scene.obstacles);
+  for (const ConnTuple& t : r.tuples) {
+    ASSERT_EQ(t.point_id, 0);
+    // Definition 8: for s in R, ||p, s|| = ||p, cp|| + dist(cp, s).
+    const double mid = t.range.Mid();
+    const geom::Vec2 s = q.At(mid);
+    EXPECT_NEAR(t.offset + geom::Dist(t.control_point, s),
+                oracle.Odist(scene.points[0], s), 1e-6);
+    // Definition 8(ii): cp is visible to every point of R.
+    vis::ObstacleSet set(geom::Rect({-100, -300}, {300, 300}));
+    for (size_t i = 0; i < scene.obstacles.size(); ++i) {
+      set.Add(scene.obstacles[i], i);
+    }
+    for (double f : {0.05, 0.5, 0.95}) {
+      const geom::Vec2 pt = q.At(t.range.lo + f * t.range.Length());
+      EXPECT_TRUE(set.Visible(t.control_point, pt))
+          << "cp not visible at fraction " << f;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 1: "there are at most two points along q with same obstructed
+// distance to p and p'" — across random instances the engine never
+// produces more than two crossings, already asserted by curve tests; here
+// we confirm a Case-2 construction yields exactly the three-piece result
+// the paper describes (p' wins [S,s1] and [s2,E], p keeps [s1,s2]).
+// ---------------------------------------------------------------------------
+TEST(PaperTheorem1, CaseTwoYieldsExactlyTwoSplitPoints) {
+  testutil::Scene scene;
+  // Two points, one curve pair — Section 3's Case 2 configuration:
+  // p1 sits just below a narrow wall under q (sees the flanks directly but
+  // pays a corner detour in the wall's shadow), p0 hangs unobstructed
+  // above the middle.  Their curves cross exactly twice: p1 owns both
+  // flanks, p0 the bounded middle window.
+  scene.points = {{50, 25}, {50, -20}};
+  scene.obstacles = {Rect({35, -8}, {65, -3})};
+  const rtree::RStarTree tp = testutil::MakePointTree(scene);
+  const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
+  const geom::Segment q({0, 0}, {100, 0});
+  const ConnResult r = ConnQuery(tp, to, q);
+
+  const auto merged = r.MergedByPoint();
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].first, 1);  // direct flank
+  EXPECT_EQ(merged[1].first, 0);  // shadowed middle window
+  EXPECT_EQ(merged[2].first, 1);  // direct flank
+  EXPECT_EQ(r.SplitParams().size(), 2u);  // Theorem 1: at most two
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 / Theorem 2: obstacles outside the range bounded by SP(p, S),
+// SP(p, E) and q never affect the result (IOR must not fetch them).
+// ---------------------------------------------------------------------------
+TEST(PaperTheorem2, ObstaclesOutsideSearchRangeAreNotRetrieved) {
+  const geom::Rect near_wall({45, 20}, {55, 60});
+  const geom::Rect far_away({900, 900}, {960, 960});
+  rtree::RStarTree to;
+  ASSERT_TRUE(to.Insert(rtree::DataObject::Obstacle(near_wall, 0)).ok());
+  ASSERT_TRUE(to.Insert(rtree::DataObject::Obstacle(far_away, 1)).ok());
+  rtree::RStarTree tp;
+  ASSERT_TRUE(tp.Insert(rtree::DataObject::Point({50, 80}, 0)).ok());
+
+  const ConnResult r = ConnQuery(tp, to, geom::Segment({0, 0}, {100, 0}));
+  EXPECT_EQ(r.stats.obstacles_evaluated, 1u);  // only the near wall
+}
+
+// ---------------------------------------------------------------------------
+// Example 2 / Figure 8 machinery: evaluating a point b against the current
+// result list replaces the incumbent a on exactly the sub-intervals where
+// b's curve is lower, and the final list is the pointwise minimum.
+// ---------------------------------------------------------------------------
+TEST(PaperExample2, ResultListIsPointwiseMinimum) {
+  testutil::Scene scene;
+  scene.points = {{20, 40}, {80, 35}, {50, 90}};
+  scene.obstacles = {Rect({30, 15}, {45, 30}), Rect({60, 10}, {75, 25}),
+                     Rect({40, 50}, {60, 70})};
+  const rtree::RStarTree tp = testutil::MakePointTree(scene);
+  const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
+  const geom::Segment q({0, 0}, {100, 0});
+  const ConnResult r = ConnQuery(tp, to, q);
+  const NaiveOracle oracle(scene.points, scene.obstacles);
+
+  for (int i = 0; i <= 100; ++i) {
+    const double t = i * q.Length() / 100.0;
+    const auto best = oracle.OnnAt(q.At(t), 1);
+    ASSERT_FALSE(best.empty());
+    EXPECT_NEAR(r.OdistAt(t), best[0].second, 1e-6 * (1 + best[0].second))
+        << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace conn

@@ -1,0 +1,108 @@
+// Unit and property tests for the stable quadratic solver underlying the
+// split-point computation (Equation (1) of the paper).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/quadratic.h"
+
+namespace conn {
+namespace geom {
+namespace {
+
+TEST(QuadraticTest, TwoDistinctRoots) {
+  double r[2];
+  // (x-2)(x-5) = x^2 - 7x + 10
+  ASSERT_EQ(SolveQuadratic(1, -7, 10, r), 2);
+  EXPECT_NEAR(r[0], 2.0, 1e-12);
+  EXPECT_NEAR(r[1], 5.0, 1e-12);
+}
+
+TEST(QuadraticTest, DoubleRoot) {
+  double r[2];
+  // (x-3)^2
+  ASSERT_EQ(SolveQuadratic(1, -6, 9, r), 1);
+  EXPECT_NEAR(r[0], 3.0, 1e-9);
+}
+
+TEST(QuadraticTest, NoRealRoots) {
+  double r[2];
+  EXPECT_EQ(SolveQuadratic(1, 0, 1, r), 0);
+}
+
+TEST(QuadraticTest, LinearDegeneration) {
+  double r[2];
+  ASSERT_EQ(SolveQuadratic(0, 2, -8, r), 1);
+  EXPECT_NEAR(r[0], 4.0, 1e-12);
+}
+
+TEST(QuadraticTest, ConstantNoRoots) {
+  double r[2];
+  EXPECT_EQ(SolveQuadratic(0, 0, 5, r), 0);
+  EXPECT_EQ(SolveQuadratic(0, 0, 0, r), 0);  // identity handled by caller
+}
+
+TEST(QuadraticTest, CancellationResistance) {
+  // x^2 - 1e8 x + 1 = 0: roots ~1e8 and ~1e-8.  The naive formula loses the
+  // small root to cancellation; Citardauq must not.
+  double r[2];
+  ASSERT_EQ(SolveQuadratic(1, -1e8, 1, r), 2);
+  EXPECT_NEAR(r[0], 1e-8, 1e-16);
+  EXPECT_NEAR(r[1], 1e8, 1e-4);
+}
+
+TEST(QuadraticTest, NegativeLeadingCoefficient) {
+  double r[2];
+  // -(x-1)(x-4) = -x^2 + 5x - 4
+  ASSERT_EQ(SolveQuadratic(-1, 5, -4, r), 2);
+  EXPECT_NEAR(r[0], 1.0, 1e-12);
+  EXPECT_NEAR(r[1], 4.0, 1e-12);
+}
+
+class QuadraticProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QuadraticProperty, RootsSatisfyEquation) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 500; ++iter) {
+    const double a = rng.Uniform(-10, 10);
+    const double b = rng.Uniform(-100, 100);
+    const double c = rng.Uniform(-100, 100);
+    double r[2];
+    const int n = SolveQuadratic(a, b, c, r);
+    const double scale =
+        std::max({std::abs(a), std::abs(b), std::abs(c), 1.0});
+    for (int i = 0; i < n; ++i) {
+      const double residual = a * r[i] * r[i] + b * r[i] + c;
+      EXPECT_LE(std::abs(residual), 1e-6 * scale * (1.0 + r[i] * r[i]))
+          << "a=" << a << " b=" << b << " c=" << c << " root=" << r[i];
+    }
+    if (n == 2) {
+      EXPECT_LE(r[0], r[1]);
+    }
+  }
+}
+
+TEST_P(QuadraticProperty, ConstructedRootsAreRecovered) {
+  Rng rng(GetParam() ^ 0x5EED);
+  for (int iter = 0; iter < 500; ++iter) {
+    const double x1 = rng.Uniform(-50, 50);
+    const double x2 = rng.Uniform(-50, 50);
+    const double a = rng.Uniform(0.1, 5.0);
+    // a(x - x1)(x - x2)
+    double r[2];
+    const int n = SolveQuadratic(a, -a * (x1 + x2), a * x1 * x2, r);
+    if (std::abs(x1 - x2) < 1e-5) continue;  // near-double roots: skip
+    ASSERT_EQ(n, 2) << "x1=" << x1 << " x2=" << x2;
+    EXPECT_NEAR(r[0], std::min(x1, x2), 1e-6 * (1 + std::abs(x1) + std::abs(x2)));
+    EXPECT_NEAR(r[1], std::max(x1, x2), 1e-6 * (1 + std::abs(x1) + std::abs(x2)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuadraticProperty,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace geom
+}  // namespace conn

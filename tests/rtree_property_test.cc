@@ -1,0 +1,133 @@
+// Property tests: the R*-tree against a linear-scan reference model under
+// randomized insert/delete workloads, plus best-first order checks and
+// STR-vs-insertion content equivalence.
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/distance.h"
+#include "rtree/best_first.h"
+#include "rtree/rstar_tree.h"
+#include "rtree/str_bulk_load.h"
+
+namespace conn {
+namespace rtree {
+namespace {
+
+class RtreeVsLinearScan : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RtreeVsLinearScan, RangeQueriesMatchAfterMixedWorkload) {
+  Rng rng(GetParam());
+  RStarTree tree;
+  std::map<uint64_t, geom::Rect> model;
+  uint64_t next_id = 0;
+
+  for (int op = 0; op < 1200; ++op) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.7 || model.empty()) {
+      // Insert: mixed points and small rects.
+      geom::Rect r;
+      if (rng.Bernoulli(0.5)) {
+        const geom::Vec2 p{rng.Uniform(0, 500), rng.Uniform(0, 500)};
+        r = geom::Rect::FromPoint(p);
+      } else {
+        const geom::Vec2 lo{rng.Uniform(0, 480), rng.Uniform(0, 480)};
+        r = geom::Rect(lo, {lo.x + rng.Uniform(0, 20), lo.y + rng.Uniform(0, 20)});
+      }
+      const uint64_t id = next_id++;
+      ASSERT_TRUE(tree.Insert({r, id, ObjectKind::kPoint}).ok());
+      model[id] = r;
+    } else {
+      // Delete a random surviving object.
+      auto it = model.begin();
+      std::advance(it, rng.UniformU64(model.size()));
+      ASSERT_TRUE(
+          tree.Delete({it->second, it->first, ObjectKind::kPoint}).ok());
+      model.erase(it);
+    }
+  }
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  EXPECT_EQ(tree.size(), model.size());
+
+  // 20 random range queries must match the model exactly.
+  for (int qi = 0; qi < 20; ++qi) {
+    const geom::Vec2 lo{rng.Uniform(0, 400), rng.Uniform(0, 400)};
+    const geom::Rect range(lo,
+                           {lo.x + rng.Uniform(5, 120), lo.y + rng.Uniform(5, 120)});
+    std::vector<DataObject> got;
+    ASSERT_TRUE(tree.RangeQuery(range, &got).ok());
+    std::set<uint64_t> got_ids;
+    for (const DataObject& o : got) got_ids.insert(o.id);
+
+    std::set<uint64_t> want_ids;
+    for (const auto& [id, r] : model) {
+      if (r.Intersects(range)) want_ids.insert(id);
+    }
+    EXPECT_EQ(got_ids, want_ids) << "query " << qi;
+  }
+}
+
+TEST_P(RtreeVsLinearScan, BestFirstMatchesSortedLinearScan) {
+  Rng rng(GetParam() ^ 0xBADC0DE);
+  std::vector<DataObject> objects;
+  for (size_t i = 0; i < 400; ++i) {
+    objects.push_back(
+        DataObject::Point({rng.Uniform(0, 500), rng.Uniform(0, 500)}, i));
+  }
+  RStarTree tree = std::move(StrBulkLoad(objects)).value();
+
+  const geom::Segment q({rng.Uniform(0, 500), rng.Uniform(0, 500)},
+                        {rng.Uniform(0, 500), rng.Uniform(0, 500)});
+  std::vector<double> want;
+  for (const DataObject& o : objects) {
+    want.push_back(geom::DistPointSegment(o.AsPoint(), q));
+  }
+  std::sort(want.begin(), want.end());
+
+  BestFirstIterator it(tree, q);
+  DataObject obj;
+  double dist;
+  size_t idx = 0;
+  while (it.Next(&obj, &dist)) {
+    ASSERT_LT(idx, want.size());
+    EXPECT_NEAR(dist, want[idx], 1e-9) << "rank " << idx;
+    ++idx;
+  }
+  EXPECT_EQ(idx, want.size());
+}
+
+TEST_P(RtreeVsLinearScan, StrAndInsertionTreesHoldTheSameContent) {
+  Rng rng(GetParam() ^ 0x57A7);
+  std::vector<DataObject> objects;
+  for (size_t i = 0; i < 800; ++i) {
+    objects.push_back(
+        DataObject::Point({rng.Uniform(0, 300), rng.Uniform(0, 300)}, i));
+  }
+  RStarTree str_tree = std::move(StrBulkLoad(objects)).value();
+  RStarTree ins_tree;
+  for (const DataObject& o : objects) ASSERT_TRUE(ins_tree.Insert(o).ok());
+
+  ASSERT_TRUE(str_tree.Validate().ok());
+  ASSERT_TRUE(ins_tree.Validate().ok());
+
+  const geom::Rect everything({-10, -10}, {310, 310});
+  std::vector<DataObject> a, b;
+  ASSERT_TRUE(str_tree.RangeQuery(everything, &a).ok());
+  ASSERT_TRUE(ins_tree.RangeQuery(everything, &b).ok());
+  std::set<uint64_t> sa, sb;
+  for (const DataObject& o : a) sa.insert(o.id);
+  for (const DataObject& o : b) sb.insert(o.id);
+  EXPECT_EQ(sa, sb);
+  EXPECT_EQ(sa.size(), 800u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtreeVsLinearScan,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace rtree
+}  // namespace conn

@@ -1,0 +1,235 @@
+// Unit tests for the R*-tree: node serialization, insertion, splitting,
+// deletion, structural validation, and the query operations.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rtree/best_first.h"
+#include "rtree/node.h"
+#include "rtree/rstar_tree.h"
+#include "rtree/str_bulk_load.h"
+
+namespace conn {
+namespace rtree {
+namespace {
+
+TEST(NodeTest, PageRoundTrip) {
+  Node n;
+  n.level = 3;
+  for (int i = 0; i < 50; ++i) {
+    NodeEntry e;
+    e.rect = geom::Rect({i * 1.0, i * 2.0}, {i * 1.0 + 1, i * 2.0 + 1});
+    e.payload = static_cast<uint64_t>(i) * 7 + 1;
+    n.entries.push_back(e);
+  }
+  storage::Page page;
+  n.ToPage(&page);
+  const Node m = Node::FromPage(page);
+  EXPECT_EQ(m.level, 3);
+  ASSERT_EQ(m.entries.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(m.entries[i].rect, n.entries[i].rect);
+    EXPECT_EQ(m.entries[i].payload, n.entries[i].payload);
+  }
+}
+
+TEST(NodeTest, CapacityMatchesPageLayout) {
+  // 4 KB page, 8-byte header, 40-byte entries.
+  EXPECT_EQ(kNodeCapacity, (4096u - 8u) / 40u);
+  EXPECT_GE(kNodeMinFill, kNodeCapacity * 2 / 5);
+  EXPECT_LT(kNodeMinFill, kNodeCapacity / 2 + 1);
+}
+
+TEST(LeafPayloadTest, EncodesIdAndKind) {
+  const uint64_t enc = NodeEntry::EncodeLeaf(12345, ObjectKind::kObstacle);
+  NodeEntry e;
+  e.payload = enc;
+  EXPECT_EQ(e.DecodeId(), 12345u);
+  EXPECT_EQ(e.DecodeKind(), ObjectKind::kObstacle);
+}
+
+TEST(RStarTreeTest, EmptyTree) {
+  RStarTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Height(), 1u);
+  ASSERT_TRUE(tree.Validate().ok());
+  std::vector<DataObject> out;
+  ASSERT_TRUE(tree.RangeQuery(geom::Rect({0, 0}, {10, 10}), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RStarTreeTest, InsertAndRangeQuery) {
+  RStarTree tree;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        tree.Insert(DataObject::Point({i * 1.0, i * 1.0}, i)).ok());
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  ASSERT_TRUE(tree.Validate().ok());
+
+  std::vector<DataObject> out;
+  ASSERT_TRUE(tree.RangeQuery(geom::Rect({10, 10}, {20, 20}), &out).ok());
+  EXPECT_EQ(out.size(), 11u);  // points 10..20
+}
+
+TEST(RStarTreeTest, GrowsAndSplits) {
+  RStarTree tree;
+  Rng rng(7);
+  const size_t n = 1000;  // forces multiple levels (capacity 102)
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree.Insert(DataObject::Point(
+                        {rng.Uniform(0, 1000), rng.Uniform(0, 1000)}, i))
+                    .ok());
+  }
+  EXPECT_EQ(tree.size(), n);
+  EXPECT_GE(tree.Height(), 2u);
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+}
+
+TEST(RStarTreeTest, InvalidRectRejected) {
+  RStarTree tree;
+  DataObject bad;
+  bad.rect = geom::Rect({5, 5}, {1, 1});  // hi < lo
+  EXPECT_EQ(tree.Insert(bad).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RStarTreeTest, DeleteExistingAndMissing) {
+  RStarTree tree;
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(tree.Insert(DataObject::Point({i * 3.0, 10.0}, i)).ok());
+  }
+  ASSERT_TRUE(tree.Delete(DataObject::Point({30.0, 10.0}, 10)).ok());
+  EXPECT_EQ(tree.size(), 299u);
+  ASSERT_TRUE(tree.Validate().ok());
+  // Deleting again: not found.
+  EXPECT_EQ(tree.Delete(DataObject::Point({30.0, 10.0}, 10)).code(),
+            StatusCode::kNotFound);
+  // Wrong id at an existing location: not found.
+  EXPECT_EQ(tree.Delete(DataObject::Point({33.0, 10.0}, 99)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RStarTreeTest, SegmentIntersectionQuery) {
+  RStarTree tree;
+  ASSERT_TRUE(
+      tree.Insert(DataObject::Obstacle(geom::Rect({0, 0}, {10, 10}), 0)).ok());
+  ASSERT_TRUE(
+      tree.Insert(DataObject::Obstacle(geom::Rect({20, 0}, {30, 10}), 1)).ok());
+  ASSERT_TRUE(
+      tree.Insert(DataObject::Obstacle(geom::Rect({40, 40}, {50, 50}), 2)).ok());
+  std::vector<DataObject> out;
+  ASSERT_TRUE(
+      tree.SegmentIntersectionQuery(geom::Segment({-5, 5}, {35, 5}), &out)
+          .ok());
+  ASSERT_EQ(out.size(), 2u);
+  std::vector<uint64_t> ids = {out[0].id, out[1].id};
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids[0], 0u);
+  EXPECT_EQ(ids[1], 1u);
+}
+
+TEST(StrBulkLoadTest, BuildsValidTreeWithAllObjects) {
+  std::vector<DataObject> objects;
+  Rng rng(11);
+  for (size_t i = 0; i < 5000; ++i) {
+    objects.push_back(
+        DataObject::Point({rng.Uniform(0, 1000), rng.Uniform(0, 1000)}, i));
+  }
+  auto loaded = StrBulkLoad(objects);
+  ASSERT_TRUE(loaded.ok());
+  RStarTree tree = std::move(loaded).value();
+  EXPECT_EQ(tree.size(), 5000u);
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+
+  // Every object is findable.
+  std::vector<DataObject> out;
+  ASSERT_TRUE(tree.RangeQuery(geom::Rect({0, 0}, {1000, 1000}), &out).ok());
+  EXPECT_EQ(out.size(), 5000u);
+}
+
+TEST(StrBulkLoadTest, FullPackingAndEmpty) {
+  auto empty = StrBulkLoad({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value().size(), 0u);
+
+  std::vector<DataObject> objects;
+  for (size_t i = 0; i < 500; ++i) {
+    objects.push_back(DataObject::Point({i * 1.0, 0.0}, i));
+  }
+  BulkLoadOptions opts;
+  opts.fill_factor = 1.0;
+  auto packed = StrBulkLoad(objects, opts);
+  ASSERT_TRUE(packed.ok());
+  ASSERT_TRUE(packed.value().Validate().ok());
+}
+
+TEST(StrBulkLoadTest, RejectsBadFillFactor) {
+  BulkLoadOptions opts;
+  opts.fill_factor = 0.0;
+  EXPECT_FALSE(StrBulkLoad({}, opts).ok());
+  opts.fill_factor = 1.5;
+  EXPECT_FALSE(StrBulkLoad({}, opts).ok());
+}
+
+TEST(StrBulkLoadTest, SupportsSubsequentInsertsAndDeletes) {
+  std::vector<DataObject> objects;
+  for (size_t i = 0; i < 1000; ++i) {
+    objects.push_back(DataObject::Point({i * 1.0, i * 0.5}, i));
+  }
+  RStarTree tree = std::move(StrBulkLoad(objects)).value();
+  ASSERT_TRUE(tree.Insert(DataObject::Point({5000, 5000}, 9999)).ok());
+  ASSERT_TRUE(tree.Delete(DataObject::Point({3.0, 1.5}, 3)).ok());
+  EXPECT_EQ(tree.size(), 1000u);
+  ASSERT_TRUE(tree.Validate().ok());
+}
+
+TEST(BestFirstTest, YieldsAscendingDistances) {
+  RStarTree tree;
+  Rng rng(3);
+  for (size_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(tree.Insert(DataObject::Point(
+                        {rng.Uniform(0, 100), rng.Uniform(0, 100)}, i))
+                    .ok());
+  }
+  const geom::Segment q({50, 50}, {60, 50});
+  BestFirstIterator it(tree, q);
+  DataObject obj;
+  double dist;
+  double prev = -1.0;
+  size_t count = 0;
+  while (it.Next(&obj, &dist)) {
+    EXPECT_GE(dist, prev);
+    prev = dist;
+    ++count;
+  }
+  EXPECT_EQ(count, 500u);
+}
+
+TEST(BestFirstTest, PeekMatchesNext) {
+  RStarTree tree;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(tree.Insert(DataObject::Point({i * 2.0, 0.0}, i)).ok());
+  }
+  BestFirstIterator it(tree, geom::Segment({11, 0}, {11, 0}));
+  const double peek = it.PeekDist();
+  DataObject obj;
+  double dist;
+  ASSERT_TRUE(it.Next(&obj, &dist));
+  EXPECT_DOUBLE_EQ(peek, dist);
+  EXPECT_DOUBLE_EQ(dist, 1.0);  // nearest point at x=10 or x=12
+}
+
+TEST(BestFirstTest, EmptyTreeStream) {
+  RStarTree tree;
+  BestFirstIterator it(tree, geom::Segment({0, 0}, {1, 1}));
+  EXPECT_TRUE(std::isinf(it.PeekDist()));
+  DataObject obj;
+  double dist;
+  EXPECT_FALSE(it.Next(&obj, &dist));
+}
+
+}  // namespace
+}  // namespace rtree
+}  // namespace conn

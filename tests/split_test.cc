@@ -1,0 +1,162 @@
+// Tests for the split-point engine: CompareCurves winner partitions, the
+// literal Case 1-4 classification of Section 3, and the Lemma 1 fast path.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/split.h"
+
+namespace conn {
+namespace geom {
+namespace {
+
+const SegmentFrame& Frame() {
+  static const SegmentFrame f(Segment({0, 0}, {100, 0}));
+  return f;
+}
+
+TEST(CompareCurvesTest, PartitionCoversDomain) {
+  const auto inc = DistanceCurve::FromControlPoint(Frame(), {30, 10}, 0.0);
+  const auto cha = DistanceCurve::FromControlPoint(Frame(), {70, 10}, 0.0);
+  const auto parts = CompareCurves(inc, cha, Interval(0, 100));
+  ASSERT_FALSE(parts.empty());
+  EXPECT_DOUBLE_EQ(parts.front().interval.lo, 0.0);
+  EXPECT_DOUBLE_EQ(parts.back().interval.hi, 100.0);
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parts[i].interval.hi, parts[i + 1].interval.lo);
+    EXPECT_NE(parts[i].winner, parts[i + 1].winner);  // merged if equal
+  }
+}
+
+TEST(CompareCurvesTest, BisectorSplitsAtMidpoint) {
+  const auto inc = DistanceCurve::FromControlPoint(Frame(), {30, 10}, 0.0);
+  const auto cha = DistanceCurve::FromControlPoint(Frame(), {70, 10}, 0.0);
+  const auto parts = CompareCurves(inc, cha, Interval(0, 100));
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].winner, CurveWinner::kIncumbent);
+  EXPECT_NEAR(parts[0].interval.hi, 50.0, 1e-9);
+  EXPECT_EQ(parts[1].winner, CurveWinner::kChallenger);
+}
+
+TEST(CompareCurvesTest, TieGoesToIncumbent) {
+  const auto c = DistanceCurve::FromControlPoint(Frame(), {50, 5}, 1.0);
+  const auto parts = CompareCurves(c, c, Interval(0, 100));
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].winner, CurveWinner::kIncumbent);
+}
+
+TEST(CompareCurvesTest, EmptyDomain) {
+  const auto c = DistanceCurve::FromControlPoint(Frame(), {50, 5}, 1.0);
+  EXPECT_TRUE(CompareCurves(c, c, Interval()).empty());
+}
+
+TEST(CompareCurvesTest, ChallengerWinsMiddleOnly) {
+  // Challenger with near control point but offset: wins a bounded window
+  // (the paper's Case 2 — two split points).
+  const auto inc = DistanceCurve::FromControlPoint(Frame(), {50, 30}, 0.0);
+  const auto cha = DistanceCurve::FromControlPoint(Frame(), {50, 2}, 15.0);
+  const auto parts = CompareCurves(inc, cha, Interval(0, 100));
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].winner, CurveWinner::kIncumbent);
+  EXPECT_EQ(parts[1].winner, CurveWinner::kChallenger);
+  EXPECT_EQ(parts[2].winner, CurveWinner::kIncumbent);
+}
+
+// ---------------------------------------------------------------------------
+// Paper Case 1-4 classification cross-check (Figure 4 preconditions: both
+// control points strictly on the same side, distinct projections).
+// ---------------------------------------------------------------------------
+
+class PaperCaseProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PaperCaseProperty, ClassificationMatchesEngine) {
+  Rng rng(GetParam());
+  // A huge domain approximates the infinite line of the paper's analysis.
+  // Control points sit near the center; the margin conditions below bound
+  // every crossing's position well inside the domain.
+  const SegmentFrame frame(Segment({-100000, 0}, {100000, 0}));
+  const Interval domain(0, 200000);
+  int verified = 0;
+  for (int iter = 0; iter < 4000 && verified < 400; ++iter) {
+    const Vec2 v{rng.Uniform(-300, 300), rng.Uniform(5, 60)};  // incumbent cp
+    const Vec2 u{rng.Uniform(-300, 300), rng.Uniform(5, 60)};  // challenger cp
+    if (std::abs(u.x - v.x) < 1.0) continue;  // need a > 0
+    if (u.y <= v.y + 2.0) continue;  // Figure 4 premise: c > b (with margin)
+    const double off_v = rng.Uniform(0, 800);
+    const double off_u = rng.Uniform(0, 800);
+    const double d = off_v - off_u;
+    const double duv = Dist(u, v);
+    const double a = std::abs(u.x - v.x);
+    // Keep a margin from the case boundaries: near them fp noise flips the
+    // classification and crossings drift toward the asymptotes.
+    if (std::abs(d - duv) < 5.0 || std::abs(d - a) < 5.0 ||
+        std::abs(d + a) < 5.0) {
+      continue;
+    }
+    ++verified;
+
+    const SplitCase c = ClassifyPaperCase(frame, v, off_v, u, off_u);
+    const auto inc = DistanceCurve::FromControlPoint(frame, v, off_v);
+    const auto cha = DistanceCurve::FromControlPoint(frame, u, off_u);
+    const auto crossings = CurveCrossings(inc, cha, domain);
+    const auto parts = CompareCurves(inc, cha, domain);
+
+    switch (c) {
+      case SplitCase::kCase1ChallengerEverywhere:
+        EXPECT_EQ(crossings.size(), 0u) << "d=" << d << " duv=" << duv;
+        ASSERT_EQ(parts.size(), 1u);
+        EXPECT_EQ(parts[0].winner, CurveWinner::kChallenger);
+        break;
+      case SplitCase::kCase2TwoSplits:
+        EXPECT_EQ(crossings.size(), 2u) << "d=" << d << " a=" << a;
+        break;
+      case SplitCase::kCase3OneSplit:
+        EXPECT_EQ(crossings.size(), 1u) << "d=" << d << " a=" << a;
+        break;
+      case SplitCase::kCase4NoChange:
+        EXPECT_EQ(crossings.size(), 0u) << "d=" << d << " a=" << a;
+        ASSERT_EQ(parts.size(), 1u);
+        EXPECT_EQ(parts[0].winner, CurveWinner::kIncumbent);
+        break;
+    }
+  }
+  EXPECT_GE(verified, 100);  // the sweep must actually exercise cases
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaperCaseProperty,
+                         ::testing::Range<uint64_t>(1, 7));
+
+// ---------------------------------------------------------------------------
+// Lemma 1 fast path soundness: whenever the prune fires, the engine must
+// agree that the incumbent wins everywhere.
+// ---------------------------------------------------------------------------
+
+class Lemma1Property : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Lemma1Property, PruneImpliesIncumbentEverywhere) {
+  Rng rng(GetParam());
+  int fired = 0;
+  for (int iter = 0; iter < 3000; ++iter) {
+    const auto inc = DistanceCurve::FromControlPoint(
+        Frame(), {rng.Uniform(0, 100), rng.Uniform(0, 40)},
+        rng.Uniform(0, 50));
+    const auto cha = DistanceCurve::FromControlPoint(
+        Frame(), {rng.Uniform(0, 100), rng.Uniform(0, 40)},
+        rng.Uniform(0, 50));
+    const Interval domain(rng.Uniform(0, 40), rng.Uniform(60, 100));
+    if (!EndpointDominancePrune(inc, cha, domain)) continue;
+    ++fired;
+    for (double t = domain.lo; t <= domain.hi; t += domain.Length() / 64) {
+      EXPECT_LE(inc.Eval(t), cha.Eval(t) + 1e-9)
+          << "Lemma 1 pruned a challenger that wins at t=" << t;
+    }
+  }
+  EXPECT_GT(fired, 50);  // the prune must fire often enough to be tested
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma1Property,
+                         ::testing::Range<uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace geom
+}  // namespace conn

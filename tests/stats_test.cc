@@ -1,0 +1,79 @@
+// Tests for the QueryStats cost model (Section 5.1: 10 ms per page fault)
+// and the Status/StatusOr error plumbing.
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace conn {
+namespace {
+
+TEST(QueryStatsTest, CostModelChargesTenMsPerPage) {
+  QueryStats s;
+  s.data_page_reads = 7;
+  s.obstacle_page_reads = 3;
+  s.cpu_seconds = 0.5;
+  EXPECT_EQ(s.TotalPageReads(), 10u);
+  EXPECT_DOUBLE_EQ(s.IoSeconds(), 0.1);
+  EXPECT_DOUBLE_EQ(s.QueryCostSeconds(), 0.6);
+}
+
+TEST(QueryStatsTest, AccumulateAndAverage) {
+  QueryStats a;
+  a.points_evaluated = 10;
+  a.obstacles_evaluated = 4;
+  a.cpu_seconds = 1.0;
+  QueryStats b;
+  b.points_evaluated = 20;
+  b.obstacles_evaluated = 6;
+  b.cpu_seconds = 3.0;
+  a += b;
+  EXPECT_EQ(a.points_evaluated, 30u);
+  EXPECT_EQ(a.obstacles_evaluated, 10u);
+  EXPECT_DOUBLE_EQ(a.cpu_seconds, 4.0);
+
+  const QueryStats avg = a.AveragedOver(2);
+  EXPECT_EQ(avg.points_evaluated, 15u);
+  EXPECT_DOUBLE_EQ(avg.cpu_seconds, 2.0);
+}
+
+TEST(QueryStatsTest, ToStringMentionsKeyCounters) {
+  QueryStats s;
+  s.points_evaluated = 42;
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("NPE=42"), std::string::npos);
+  EXPECT_NE(str.find("SVG"), std::string::npos);
+}
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  const Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> ok_value(42);
+  ASSERT_TRUE(ok_value.ok());
+  EXPECT_EQ(ok_value.value(), 42);
+
+  StatusOr<int> err(Status::NotFound("missing"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOut) {
+  StatusOr<std::string> s(std::string("payload"));
+  const std::string moved = std::move(s).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+}  // namespace
+}  // namespace conn

@@ -1,0 +1,148 @@
+// Unit tests for the paged storage layer: PageFile, LruBuffer, and the
+// Pager's fault accounting (the basis of the paper's I/O metric).
+
+#include <gtest/gtest.h>
+
+#include "storage/lru_buffer.h"
+#include "storage/page_file.h"
+#include "storage/pager.h"
+
+namespace conn {
+namespace storage {
+namespace {
+
+TEST(PageTest, TypedReadWriteRoundTrip) {
+  Page p;
+  p.WriteAt<uint64_t>(0, 0xDEADBEEFCAFEF00DULL);
+  p.WriteAt<double>(8, 3.25);
+  EXPECT_EQ(p.ReadAt<uint64_t>(0), 0xDEADBEEFCAFEF00DULL);
+  EXPECT_DOUBLE_EQ(p.ReadAt<double>(8), 3.25);
+}
+
+TEST(PageFileTest, AllocateReadWrite) {
+  PageFile f;
+  const PageId a = f.Allocate();
+  const PageId b = f.Allocate();
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(f.PageCount(), 2u);
+
+  Page p;
+  p.WriteAt<int>(0, 42);
+  ASSERT_TRUE(f.Write(a, p).ok());
+  Page q;
+  ASSERT_TRUE(f.Read(a, &q).ok());
+  EXPECT_EQ(q.ReadAt<int>(0), 42);
+}
+
+TEST(PageFileTest, OutOfRangeIsNotFound) {
+  PageFile f;
+  Page p;
+  EXPECT_EQ(f.Read(5, &p).code(), StatusCode::kNotFound);
+  EXPECT_EQ(f.Write(5, p).code(), StatusCode::kNotFound);
+}
+
+TEST(PageFileTest, FreshPageIsZeroed) {
+  PageFile f;
+  Page p;
+  ASSERT_TRUE(f.Read(f.Allocate(), &p).ok());
+  for (size_t i = 0; i < kPageSize; i += 512) EXPECT_EQ(p.bytes[i], 0);
+}
+
+TEST(LruBufferTest, ZeroCapacityNeverCaches) {
+  LruBuffer buf(0);
+  Page p;
+  buf.Put(1, p);
+  EXPECT_FALSE(buf.Get(1, &p));
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(LruBufferTest, EvictsLeastRecentlyUsed) {
+  LruBuffer buf(2);
+  Page p;
+  p.WriteAt<int>(0, 1);
+  buf.Put(1, p);
+  p.WriteAt<int>(0, 2);
+  buf.Put(2, p);
+  // Touch 1 so 2 becomes LRU.
+  ASSERT_TRUE(buf.Get(1, &p));
+  p.WriteAt<int>(0, 3);
+  buf.Put(3, p);
+  EXPECT_TRUE(buf.Get(1, &p));
+  EXPECT_FALSE(buf.Get(2, &p));  // evicted
+  EXPECT_TRUE(buf.Get(3, &p));
+}
+
+TEST(LruBufferTest, PutRefreshesExistingEntry) {
+  LruBuffer buf(2);
+  Page p;
+  p.WriteAt<int>(0, 10);
+  buf.Put(7, p);
+  p.WriteAt<int>(0, 20);
+  buf.Put(7, p);
+  EXPECT_EQ(buf.size(), 1u);
+  ASSERT_TRUE(buf.Get(7, &p));
+  EXPECT_EQ(p.ReadAt<int>(0), 20);
+}
+
+TEST(LruBufferTest, ShrinkEvicts) {
+  LruBuffer buf(4);
+  Page p;
+  for (PageId i = 0; i < 4; ++i) buf.Put(i, p);
+  buf.SetCapacity(1);
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_TRUE(buf.Get(3, &p));  // most recent survives
+}
+
+TEST(PagerTest, UnbufferedEveryReadFaults) {
+  Pager pager;  // capacity 0 by default (paper's default configuration)
+  const PageId id = pager.Allocate();
+  Page p;
+  ASSERT_TRUE(pager.Write(id, p).ok());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(pager.Read(id, &p).ok());
+  EXPECT_EQ(pager.faults(), 5u);
+  EXPECT_EQ(pager.hits(), 0u);
+}
+
+TEST(PagerTest, BufferedRepeatReadsHit) {
+  Pager pager;
+  pager.SetBufferCapacity(8);
+  const PageId id = pager.Allocate();
+  Page p;
+  ASSERT_TRUE(pager.Write(id, p).ok());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(pager.Read(id, &p).ok());
+  // The write primed the buffer, so every read hits.
+  EXPECT_EQ(pager.faults(), 0u);
+  EXPECT_EQ(pager.hits(), 5u);
+}
+
+TEST(PagerTest, ClearBufferForcesRefault) {
+  Pager pager;
+  pager.SetBufferCapacity(8);
+  const PageId id = pager.Allocate();
+  Page p;
+  ASSERT_TRUE(pager.Write(id, p).ok());
+  pager.ClearBuffer();
+  ASSERT_TRUE(pager.Read(id, &p).ok());
+  ASSERT_TRUE(pager.Read(id, &p).ok());
+  EXPECT_EQ(pager.faults(), 1u);
+  EXPECT_EQ(pager.hits(), 1u);
+}
+
+TEST(PagerTest, WriteThroughKeepsCacheCoherent) {
+  Pager pager;
+  pager.SetBufferCapacity(2);
+  const PageId id = pager.Allocate();
+  Page p;
+  p.WriteAt<int>(0, 1);
+  ASSERT_TRUE(pager.Write(id, p).ok());
+  p.WriteAt<int>(0, 2);
+  ASSERT_TRUE(pager.Write(id, p).ok());
+  Page q;
+  ASSERT_TRUE(pager.Read(id, &q).ok());
+  EXPECT_EQ(q.ReadAt<int>(0), 2);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace conn

@@ -1,0 +1,71 @@
+// Tests for trajectory CONN (the Section 6 future-work extension).
+
+#include <gtest/gtest.h>
+
+#include "core/trajectory.h"
+#include "test_util.h"
+
+namespace conn {
+namespace core {
+namespace {
+
+TEST(TrajectoryTest, LegsMatchIndividualQueries) {
+  const testutil::Scene scene = testutil::MakeScene(21, 40, 12);
+  const rtree::RStarTree tp = testutil::MakePointTree(scene);
+  const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
+
+  const std::vector<geom::Vec2> waypoints = {
+      {100, 100}, {400, 150}, {450, 500}, {800, 650}};
+  const TrajectoryResult traj =
+      TrajectoryConnQuery(tp, to, waypoints, {});
+  ASSERT_EQ(traj.legs.size(), 3u);
+
+  for (size_t i = 0; i < traj.legs.size(); ++i) {
+    const geom::Segment leg(waypoints[i], waypoints[i + 1]);
+    const ConnResult direct = ConnQuery(tp, to, leg);
+    for (int s = 0; s <= 50; ++s) {
+      const double t = leg.Length() * (s + 0.5) / 51.0;
+      const double a = traj.legs[i].result.OdistAt(t);
+      const double b = direct.OdistAt(t);
+      if (std::isinf(a) || std::isinf(b)) {
+        EXPECT_EQ(std::isinf(a), std::isinf(b)) << "leg " << i << " t=" << t;
+      } else {
+        EXPECT_NEAR(a, b, 1e-9) << "leg " << i << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(TrajectoryTest, DuplicateWaypointsSkipped) {
+  const testutil::Scene scene = testutil::MakeScene(22, 20, 5);
+  const rtree::RStarTree tp = testutil::MakePointTree(scene);
+  const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
+  const TrajectoryResult traj = TrajectoryConnQuery(
+      tp, to, {{100, 100}, {100, 100}, {500, 500}}, {});
+  ASSERT_EQ(traj.legs.size(), 1u);
+}
+
+TEST(TrajectoryTest, ArcLengthLookupAndTotals) {
+  const testutil::Scene scene = testutil::MakeScene(23, 30, 8);
+  const rtree::RStarTree tp = testutil::MakePointTree(scene);
+  const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
+  const std::vector<geom::Vec2> waypoints = {{0, 0}, {300, 0}, {300, 400}};
+  const TrajectoryResult traj = TrajectoryConnQuery(tp, to, waypoints, {});
+  EXPECT_DOUBLE_EQ(traj.TotalLength(), 700.0);
+
+  // Sampling within the second leg must agree with its own result.
+  const int64_t via_arc = traj.OnnAtArcLength(450.0);
+  const int64_t direct = traj.legs[1].result.OnnAt(150.0);
+  EXPECT_EQ(via_arc, direct);
+
+  // Aggregated stats sum the per-leg counters.
+  uint64_t npe = 0;
+  for (const TrajectoryLeg& leg : traj.legs) {
+    npe += leg.result.stats.points_evaluated;
+  }
+  EXPECT_EQ(traj.total_stats.points_evaluated, npe);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace conn

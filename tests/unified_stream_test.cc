@@ -1,0 +1,91 @@
+// Direct tests of the UnifiedStream router (Section 4.5, 1-tree mode):
+// popped obstacles must enter the visibility graph immediately, points
+// must come back in ascending-distance order regardless of how IOR's
+// obstacle draining interleaves, and retrieved_up_to must be monotone.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/odist.h"
+#include "test_util.h"
+
+namespace conn {
+namespace core {
+namespace {
+
+TEST(UnifiedStreamTest, RoutesObstaclesIntoGraphAndPointsInOrder) {
+  const testutil::Scene scene = testutil::MakeScene(51, 30, 20);
+  const rtree::RStarTree unified = testutil::MakeUnifiedTree(scene);
+  vis::VisGraph vg(geom::Rect({-100, -100}, {1100, 1100}));
+  UnifiedStream stream(unified, scene.query, &vg);
+
+  rtree::DataObject obj;
+  double dist, prev = -1.0;
+  size_t points = 0;
+  while (stream.NextPointWithin(1e18, &obj, &dist)) {
+    EXPECT_EQ(obj.kind, rtree::ObjectKind::kPoint);
+    EXPECT_GE(dist, prev);
+    prev = dist;
+    ++points;
+  }
+  EXPECT_EQ(points, scene.points.size());
+  // Every obstacle was popped on the way and inserted into the graph.
+  EXPECT_EQ(vg.ObstacleCount(), scene.obstacles.size());
+  EXPECT_TRUE(std::isfinite(stream.retrieved_up_to()));
+}
+
+TEST(UnifiedStreamTest, ObstacleDrainBuffersPointsWithoutLosingOrder) {
+  const testutil::Scene scene = testutil::MakeScene(52, 25, 15);
+  const rtree::RStarTree unified = testutil::MakeUnifiedTree(scene);
+  vis::VisGraph vg(geom::Rect({-100, -100}, {1100, 1100}));
+  UnifiedStream stream(unified, scene.query, &vg);
+
+  // Drain obstacles up to a mid-range bound first (as IOR would)...
+  rtree::DataObject obstacle;
+  double odist;
+  size_t obstacles = 0;
+  while (stream.NextObstacleWithin(300.0, &obstacle, &odist)) {
+    EXPECT_EQ(obstacle.kind, rtree::ObjectKind::kObstacle);
+    EXPECT_LE(odist, 300.0);
+    ++obstacles;
+  }
+  const double retrieved_after_drain = stream.retrieved_up_to();
+
+  // ...then consume all points: still ascending, none lost.
+  rtree::DataObject obj;
+  double dist, prev = -1.0;
+  size_t points = 0;
+  while (stream.NextPointWithin(1e18, &obj, &dist)) {
+    EXPECT_GE(dist, prev);
+    prev = dist;
+    ++points;
+  }
+  EXPECT_EQ(points, scene.points.size());
+  EXPECT_GE(stream.retrieved_up_to(), retrieved_after_drain);
+}
+
+TEST(UnifiedStreamTest, BoundIsRespected) {
+  const testutil::Scene scene = testutil::MakeScene(53, 40, 10);
+  const rtree::RStarTree unified = testutil::MakeUnifiedTree(scene);
+  vis::VisGraph vg(geom::Rect({-100, -100}, {1100, 1100}));
+  UnifiedStream stream(unified, scene.query, &vg);
+
+  rtree::DataObject obj;
+  double dist;
+  while (stream.NextPointWithin(150.0, &obj, &dist)) {
+    EXPECT_LE(dist, 150.0);
+  }
+  // A later call with a larger bound resumes where the stream stopped.
+  size_t more = 0;
+  while (stream.NextPointWithin(400.0, &obj, &dist)) {
+    EXPECT_GT(dist, 150.0 - 1e-9);
+    EXPECT_LE(dist, 400.0);
+    ++more;
+  }
+  (void)more;  // may be zero if no point falls in (150, 400]
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace conn

@@ -1,0 +1,147 @@
+// Tests for the local visibility graph and its incremental Dijkstra scan:
+// lazy adjacency correctness under obstacle insertion (epoch invalidation),
+// shortest paths around obstacles, and unreachable pockets.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vis/dijkstra.h"
+#include "vis/full_vis_graph.h"
+#include "vis/vis_graph.h"
+
+namespace conn {
+namespace vis {
+namespace {
+
+const geom::Rect kDomain({0, 0}, {1000, 1000});
+
+TEST(VisGraphTest, EmptyGraphDirectPath) {
+  VisGraph g(kDomain);
+  const VertexId t = g.AddFixedVertex({100, 0});
+  DijkstraScan scan(&g, {0, 0});
+  VertexId v;
+  double dist;
+  int32_t pred;
+  ASSERT_TRUE(scan.Next(&v, &dist, &pred));
+  EXPECT_EQ(v, t);
+  EXPECT_DOUBLE_EQ(dist, 100.0);
+  EXPECT_EQ(pred, kPredSource);
+}
+
+TEST(VisGraphTest, PathBendsAroundObstacle) {
+  VisGraph g(kDomain);
+  const VertexId t = g.AddFixedVertex({100, 0});
+  // A wall between source (0,0) and target (100,0).
+  g.AddObstacle(geom::Rect({45, -30}, {55, 30}), 0);
+  EXPECT_EQ(g.VertexCount(), 5u);  // target + 4 corners
+  EXPECT_EQ(g.ObstacleCount(), 1u);
+
+  DijkstraScan scan(&g, {0, 0});
+  const double d = scan.SettleTargets({t});
+  // Shortest path via corner (45,-30) or (45,30) then (55,±30).
+  const double expected = std::hypot(45, 30) + 10 + std::hypot(45, 30);
+  EXPECT_NEAR(d, expected, 1e-9);
+  // Predecessor chain must reach the target through a corner.
+  EXPECT_GE(scan.PredOf(t), 0);
+}
+
+TEST(VisGraphTest, EpochInvalidationBlocksOldEdges) {
+  VisGraph g(kDomain);
+  const VertexId t = g.AddFixedVertex({100, 0});
+  {
+    DijkstraScan scan(&g, {0, 0});
+    EXPECT_NEAR(scan.SettleTargets({t}), 100.0, 1e-12);
+  }
+  // Insert a wall: the cached direct edge must be invalidated.
+  g.AddObstacle(geom::Rect({45, -30}, {55, 30}), 0);
+  {
+    DijkstraScan scan(&g, {0, 0});
+    EXPECT_GT(scan.SettleTargets({t}), 100.0 + 1.0);
+  }
+}
+
+TEST(VisGraphTest, UnreachableTargetGivesInfinity) {
+  VisGraph g(kDomain);
+  const VertexId t = g.AddFixedVertex({500, 500});
+  // Box the target in with four overlapping walls.
+  g.AddObstacle(geom::Rect({400, 400}, {600, 420}), 0);  // bottom
+  g.AddObstacle(geom::Rect({400, 580}, {600, 600}), 1);  // top
+  g.AddObstacle(geom::Rect({400, 400}, {420, 600}), 2);  // left
+  g.AddObstacle(geom::Rect({580, 400}, {600, 600}), 3);  // right
+  DijkstraScan scan(&g, {0, 0});
+  EXPECT_TRUE(std::isinf(scan.SettleTargets({t})));
+}
+
+TEST(VisGraphTest, StatsCountersAdvance) {
+  QueryStats stats;
+  VisGraph g(kDomain, &stats);
+  g.AddFixedVertex({100, 0});
+  g.AddObstacle(geom::Rect({40, 10}, {60, 30}), 7);
+  EXPECT_EQ(stats.obstacles_evaluated, 1u);
+  EXPECT_EQ(stats.vis_graph_vertices, 5u);
+  g.Visible({0, 0}, {100, 100});
+  EXPECT_GE(stats.visibility_tests, 1u);
+}
+
+TEST(DijkstraScanTest, YieldsAscendingDistances) {
+  Rng rng(99);
+  VisGraph g(kDomain);
+  g.AddFixedVertex({900, 900});
+  for (int i = 0; i < 20; ++i) {
+    const geom::Vec2 lo{rng.Uniform(100, 800), rng.Uniform(100, 800)};
+    g.AddObstacle(
+        geom::Rect(lo, {lo.x + rng.Uniform(5, 80), lo.y + rng.Uniform(5, 80)}),
+        i);
+  }
+  DijkstraScan scan(&g, {50, 50});
+  VertexId v;
+  double dist, prev = 0.0;
+  int32_t pred;
+  while (scan.Next(&v, &dist, &pred)) {
+    EXPECT_GE(dist, prev - 1e-12);
+    prev = dist;
+    if (pred >= 0) {
+      EXPECT_TRUE(scan.IsSettled(static_cast<VertexId>(pred)));
+      EXPECT_LE(scan.DistOf(static_cast<VertexId>(pred)), dist + 1e-12);
+    }
+  }
+}
+
+// The local VisGraph must agree with the eager FullVisGraph on obstructed
+// distances between a source and fixed targets.
+class LocalVsFullGraph : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LocalVsFullGraph, SameShortestDistances) {
+  Rng rng(GetParam());
+  std::vector<geom::Rect> rects;
+  for (int i = 0; i < 15; ++i) {
+    const geom::Vec2 lo{rng.Uniform(100, 800), rng.Uniform(100, 800)};
+    rects.push_back(geom::Rect(
+        lo, {lo.x + rng.Uniform(10, 120), lo.y + rng.Uniform(10, 120)}));
+  }
+  const geom::Vec2 source{rng.Uniform(0, 80), rng.Uniform(0, 80)};
+  const geom::Vec2 target{rng.Uniform(900, 1000), rng.Uniform(900, 1000)};
+
+  VisGraph local(kDomain);
+  const VertexId t = local.AddFixedVertex(target);
+  for (size_t i = 0; i < rects.size(); ++i) local.AddObstacle(rects[i], i);
+  DijkstraScan scan(&local, source);
+  const double local_dist = scan.SettleTargets({t});
+
+  FullVisGraph full(rects);
+  const VertexId ft = full.AddPoint(target);
+  const VertexId fs = full.AddPoint(source);
+  full.Build();
+  const double full_dist = full.Distance(fs, ft);
+
+  EXPECT_NEAR(local_dist, full_dist, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalVsFullGraph,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace vis
+}  // namespace conn

@@ -1,0 +1,132 @@
+// Tests for shadow / visible-region computation (Definition 2), including a
+// property sweep validating every region boundary against dense sight-line
+// sampling.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/curve.h"
+#include "vis/visible_region.h"
+
+namespace conn {
+namespace vis {
+namespace {
+
+const geom::Rect kDomain({0, 0}, {1000, 1000});
+
+TEST(ShadowTest, NoShadowWhenBehindViewpoint) {
+  const geom::SegmentFrame frame(geom::Segment({0, 0}, {100, 0}));
+  // Obstacle behind the viewpoint relative to the segment.
+  const geom::IntervalSet shadow =
+      ShadowOnSegment(geom::Rect({40, 90}, {60, 95}), {50, 50}, frame);
+  EXPECT_TRUE(shadow.IsEmpty());
+}
+
+TEST(ShadowTest, CentralObstacleShadowsMiddle) {
+  const geom::SegmentFrame frame(geom::Segment({0, 0}, {100, 0}));
+  // Viewpoint above, obstacle between viewpoint and segment.
+  const geom::IntervalSet shadow =
+      ShadowOnSegment(geom::Rect({45, 40}, {55, 60}), {50, 100}, frame);
+  ASSERT_EQ(shadow.size(), 1u);
+  // The silhouette corners are the UPPER ones (nearer the viewpoint): the
+  // ray through (45,60) hits y=0 at x = 50 - 5 * 100/40 = 37.5, and
+  // symmetrically 62.5 through (55,60).
+  EXPECT_NEAR(shadow.intervals()[0].lo, 37.5, 1e-6);
+  EXPECT_NEAR(shadow.intervals()[0].hi, 62.5, 1e-6);
+}
+
+TEST(ShadowTest, SegmentCrossingObstacleIsShadowedInside) {
+  const geom::SegmentFrame frame(geom::Segment({0, 0}, {100, 0}));
+  // Obstacle straddling the segment itself.
+  const geom::IntervalSet shadow =
+      ShadowOnSegment(geom::Rect({30, -10}, {40, 10}), {0, 50}, frame);
+  // Everything from the obstacle's entry to (at least) its exit is blocked,
+  // plus the occlusion behind it.
+  EXPECT_FALSE(shadow.IsEmpty());
+  EXPECT_TRUE(shadow.Contains(35.0));
+  EXPECT_FALSE(shadow.Contains(10.0));
+}
+
+TEST(VisibleRegionTest, FullWhenNoObstacles) {
+  ObstacleSet set(kDomain);
+  const geom::SegmentFrame frame(geom::Segment({0, 0}, {100, 0}));
+  const geom::IntervalSet vr = VisibleRegion(set, {50, 70}, frame);
+  ASSERT_EQ(vr.size(), 1u);
+  EXPECT_NEAR(vr.TotalLength(), 100.0, 1e-9);
+}
+
+TEST(VisibleRegionTest, TwoObstaclesThreeVisiblePieces) {
+  ObstacleSet set(kDomain);
+  set.Add(geom::Rect({35, 20}, {45, 30}), 0);
+  set.Add(geom::Rect({55, 20}, {65, 30}), 1);
+  const geom::SegmentFrame frame(geom::Segment({0, 0}, {100, 0}));
+  const geom::IntervalSet vr = VisibleRegion(set, {50, 60}, frame);
+  // Shadows: [20, 42.5] (rays through (35,30) and (45,20)) and the mirror
+  // [57.5, 80]; visible: left piece, center gap, right piece.
+  ASSERT_EQ(vr.size(), 3u);
+  EXPECT_NEAR(vr.intervals()[0].hi, 20.0, 1e-6);
+  EXPECT_NEAR(vr.intervals()[1].lo, 42.5, 1e-6);
+  EXPECT_NEAR(vr.intervals()[1].hi, 57.5, 1e-6);
+  EXPECT_NEAR(vr.intervals()[2].lo, 80.0, 1e-6);
+}
+
+TEST(VisibleRegionTest, ViewpointInsideObstacleSeesNothing) {
+  ObstacleSet set(kDomain);
+  set.Add(geom::Rect({40, 40}, {60, 60}), 0);
+  const geom::SegmentFrame frame(geom::Segment({0, 0}, {100, 0}));
+  const geom::IntervalSet vr = VisibleRegion(set, {50, 50}, frame);
+  EXPECT_TRUE(vr.IsEmpty());
+}
+
+TEST(VisibleRegionTest, ViewpointOnCornerSeesAround) {
+  ObstacleSet set(kDomain);
+  set.Add(geom::Rect({40, 40}, {60, 60}), 0);
+  const geom::SegmentFrame frame(geom::Segment({0, 0}, {100, 0}));
+  // Viewpoint exactly on the obstacle's lower-left corner.
+  const geom::IntervalSet vr = VisibleRegion(set, {40, 40}, frame);
+  EXPECT_FALSE(vr.IsEmpty());
+  EXPECT_TRUE(vr.Contains(0.0));  // sees the left part of the segment
+}
+
+class VisibleRegionProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VisibleRegionProperty, MatchesDenseSightlineSampling) {
+  Rng rng(GetParam());
+  ObstacleSet set(kDomain, 32);
+  std::vector<geom::Rect> rects;
+  const int n = 1 + static_cast<int>(rng.UniformU64(25));
+  for (int i = 0; i < n; ++i) {
+    const geom::Vec2 lo{rng.Uniform(0, 900), rng.Uniform(0, 900)};
+    rects.push_back(geom::Rect(
+        lo, {lo.x + rng.Uniform(5, 100), lo.y + rng.Uniform(5, 100)}));
+    set.Add(rects.back(), i);
+  }
+  const geom::Segment q({rng.Uniform(0, 1000), rng.Uniform(0, 1000)},
+                        {rng.Uniform(0, 1000), rng.Uniform(0, 1000)});
+  if (q.Length() < 1.0) return;
+  const geom::SegmentFrame frame(q);
+  const geom::Vec2 view{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+  const geom::IntervalSet vr = VisibleRegion(set, view, frame);
+
+  for (int i = 0; i <= 400; ++i) {
+    const double t = q.Length() * i / 400.0;
+    const bool direct = set.Visible(view, q.At(t));
+    // Skip probes within eps of any region boundary.
+    bool near_boundary = false;
+    for (const geom::Interval& iv : vr.intervals()) {
+      if (std::abs(t - iv.lo) < 1e-4 || std::abs(t - iv.hi) < 1e-4) {
+        near_boundary = true;
+      }
+    }
+    if (near_boundary) continue;
+    EXPECT_EQ(vr.Contains(t, 0.0), direct)
+        << "t=" << t << " view=(" << view.x << "," << view.y << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VisibleRegionProperty,
+                         ::testing::Range<uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace vis
+}  // namespace conn
