@@ -52,7 +52,7 @@ void PrintHelp() {
       "  --radius R       range query radius              (default 500)\n"
       "  --q x1,y1,x2,y2  query segment                   (conn/coknn)\n"
       "  --at x,y         query point                     (onn/range)\n"
-      "  --ql P           query length, %% of space side   (bench)\n"
+      "  --ql P           query length, % of space side    (bench)\n"
       "  --queries N      workload size                   (bench)");
 }
 
@@ -63,9 +63,12 @@ bool ParseVec(const char* s, conn::geom::Vec2* out) {
 bool ParseFlags(int argc, char** argv, Flags* f) {
   if (argc < 2) return false;
   f->command = argv[1];
-  if (f->command == "--help" || f->command == "-h") return false;
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; i += 2) {
     const std::string key = argv[i];
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag %s requires a value\n", key.c_str());
+      return false;
+    }
     const char* val = argv[i + 1];
     if (key == "--points") f->points = std::strtoull(val, nullptr, 10);
     else if (key == "--obstacles") f->obstacles = std::strtoull(val, nullptr, 10);
@@ -100,8 +103,21 @@ conn::datagen::PointDistribution DistOf(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintHelp();
+      return 0;
+    }
+  }
   Flags f;
   if (!ParseFlags(argc, argv, &f)) {
+    PrintHelp();
+    return 1;
+  }
+  if (f.command != "conn" && f.command != "coknn" && f.command != "onn" &&
+      f.command != "range" && f.command != "bench") {
+    std::fprintf(stderr, "unknown command %s\n", f.command.c_str());
     PrintHelp();
     return 1;
   }
