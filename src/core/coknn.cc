@@ -7,6 +7,7 @@
 #include "common/timer.h"
 #include "core/engine_internal.h"
 #include "core/odist.h"
+#include "core/workspace.h"
 #include "rtree/best_first.h"
 
 namespace conn {
@@ -137,7 +138,15 @@ void KnnResultList::AssignCandidate(const KnnCandidate& cand,
                                return std::abs(a - b) <= geom::kEpsParam;
                              }),
                  breaks.end());
-    if (breaks.back() < overlap.hi) breaks.push_back(overlap.hi);
+    // The eps-tolerant unique pass keeps the first of a near-duplicate run,
+    // so a crossing within kEpsParam of overlap.hi swallows the terminal
+    // break.  Clamp the surviving break onto overlap.hi instead of
+    // re-appending it, which would create an eps-sliver interval.
+    if (overlap.hi - breaks.back() > geom::kEpsParam) {
+      breaks.push_back(overlap.hi);
+    } else {
+      breaks.back() = overlap.hi;
+    }
 
     for (size_t i = 0; i + 1 < breaks.size(); ++i) {
       const geom::Interval piece(breaks[i], breaks[i + 1]);
@@ -186,38 +195,57 @@ void KnnResultList::Update(int64_t pid, const ControlPointList& cpl,
   }
 }
 
-std::vector<int64_t> CoknnResult::KnnAt(double t) const {
-  for (const CoknnTuple& tup : tuples) {
-    if (tup.range.ContainsApprox(t)) {
-      std::vector<int64_t> ids;
-      ids.reserve(tup.candidates.size());
-      const geom::SegmentFrame frame(query);
-      std::vector<std::pair<double, int64_t>> ranked;
-      for (const KnnCandidate& c : tup.candidates) {
-        ranked.emplace_back(c.Curve(frame).Eval(t), c.pid);
-      }
-      std::sort(ranked.begin(), ranked.end());
-      for (const auto& [d, pid] : ranked) ids.push_back(pid);
-      return ids;
-    }
+const CoknnTuple* CoknnResult::FindTuple(double t) const {
+  // The tuples are an ordered partition of the reachable domain: binary
+  // search for the first tuple with range.lo > t, then probe the few
+  // neighbors that can contain t under ContainsApprox (a boundary value
+  // sits in two adjacent tuples; return the earliest, preserving the
+  // first-match semantics of the former linear scan).
+  auto it = std::upper_bound(
+      tuples.begin(), tuples.end(), t,
+      [](double v, const CoknnTuple& tup) { return v < tup.range.lo; });
+  const size_t idx = static_cast<size_t>(it - tuples.begin());
+  for (size_t i = idx >= 2 ? idx - 2 : 0; i < tuples.size() && i <= idx; ++i) {
+    if (tuples[i].range.ContainsApprox(t)) return &tuples[i];
   }
-  return {};
+  return nullptr;
+}
+
+std::vector<int64_t> CoknnResult::KnnAt(double t,
+                                        const geom::SegmentFrame& frame) const {
+  const CoknnTuple* tup = FindTuple(t);
+  if (tup == nullptr) return {};
+  std::vector<std::pair<double, int64_t>> ranked;
+  ranked.reserve(tup->candidates.size());
+  for (const KnnCandidate& c : tup->candidates) {
+    ranked.emplace_back(c.Curve(frame).Eval(t), c.pid);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::vector<int64_t> ids;
+  ids.reserve(ranked.size());
+  for (const auto& [d, pid] : ranked) ids.push_back(pid);
+  return ids;
+}
+
+std::vector<int64_t> CoknnResult::KnnAt(double t) const {
+  return KnnAt(t, geom::SegmentFrame(query));
+}
+
+double CoknnResult::OdistAt(double t, size_t j,
+                            const geom::SegmentFrame& frame) const {
+  const CoknnTuple* tup = FindTuple(t);
+  if (tup == nullptr || j >= tup->candidates.size()) return kInf;
+  std::vector<double> vals;
+  vals.reserve(tup->candidates.size());
+  for (const KnnCandidate& c : tup->candidates) {
+    vals.push_back(c.Curve(frame).Eval(t));
+  }
+  std::sort(vals.begin(), vals.end());
+  return vals[j];
 }
 
 double CoknnResult::OdistAt(double t, size_t j) const {
-  for (const CoknnTuple& tup : tuples) {
-    if (tup.range.ContainsApprox(t)) {
-      if (j >= tup.candidates.size()) return kInf;
-      const geom::SegmentFrame frame(query);
-      std::vector<double> vals;
-      for (const KnnCandidate& c : tup.candidates) {
-        vals.push_back(c.Curve(frame).Eval(t));
-      }
-      std::sort(vals.begin(), vals.end());
-      return vals[j];
-    }
-  }
-  return kInf;
+  return OdistAt(t, j, geom::SegmentFrame(query));
 }
 
 namespace {
@@ -236,8 +264,9 @@ CoknnResult RunCoknn(const geom::Segment& q, size_t k,
   const geom::SegmentFrame frame(q);
   const geom::IntervalSet reachable =
       internal::ReachablePieces(blocked, q.Length(), &result.unreachable);
+  vis::QuerySession session(vg);
   const std::vector<vis::VertexId> targets =
-      internal::AddTargetVertices(vg, reachable, q);
+      internal::AddTargetVertices(&session, reachable, q);
 
   KnnResultList rl(reachable, k);
   VisibleRegionCache vr_cache;
@@ -246,8 +275,13 @@ CoknnResult RunCoknn(const geom::Segment& q, size_t k,
   double dist;
   while (true) {
     const double bound = opts.use_rlmax_terminate ? rl.RlMax(frame) : kInf;
-    if (!next_point(bound, &obj, &dist)) {
-      if (bound < kInf) ++stats->lemma2_terminations;
+    const StreamOutcome outcome = next_point(bound, &obj, &dist);
+    if (outcome != StreamOutcome::kYielded) {
+      // Lemma 2 gets credit only when RLMAX pruned points that remained;
+      // an exhausted iterator stopping the loop is not a pruning win.
+      if (outcome == StreamOutcome::kBoundReached) {
+        ++stats->lemma2_terminations;
+      }
       break;
     }
     ++stats->points_evaluated;
@@ -268,34 +302,37 @@ CoknnResult RunCoknn(const geom::Segment& q, size_t k,
 CoknnResult CoknnQuery(const rtree::RStarTree& data_tree,
                        const rtree::RStarTree& obstacle_tree,
                        const geom::Segment& q, size_t k,
-                       const ConnOptions& opts) {
+                       const ConnOptions& opts, QueryWorkspace* workspace) {
   Timer timer;
   QueryStats stats;
   internal::PagerDelta data_io(data_tree.pager());
   internal::PagerDelta obstacle_io(obstacle_tree.pager());
 
-  const geom::Rect domain =
-      internal::WorkspaceBounds(&data_tree, &obstacle_tree, q);
-  vis::VisGraph vg(domain, &stats);
+  internal::ScopedQueryGraph graph(workspace, &data_tree, &obstacle_tree, q,
+                                   &stats);
+  vis::VisGraph* vg = graph.get();
   TreeObstacleSource obstacle_source(obstacle_tree, q);
   const geom::IntervalSet blocked =
       internal::BlockedIntervals(obstacle_tree, q);
 
   rtree::BestFirstIterator points(data_tree, q);
   auto next_point = [&](double bound, rtree::DataObject* out, double* dist) {
-    // bound may be +inf (RLMAX with underfull candidate sets): exhaustion
-    // must be detected by Next(), not by the peek comparison.
-    if (points.PeekDist() > bound) return false;
-    if (!points.Next(out, dist)) return false;
+    // bound may be +inf (RLMAX with underfull candidate sets): a finite
+    // peek below the bound guarantees an object, so exhaustion and the
+    // Lemma-2 stop are cleanly separable.
+    const double peek = points.PeekDist();
+    if (peek == kInf) return StreamOutcome::kExhausted;
+    if (peek > bound) return StreamOutcome::kBoundReached;
+    CONN_CHECK(points.Next(out, dist));
     CONN_CHECK_MSG(out->kind == rtree::ObjectKind::kPoint,
                    "data tree contains a non-point entry");
-    return true;
+    return StreamOutcome::kYielded;
   };
 
-  CoknnResult result = RunCoknn(q, k, blocked, &vg, &obstacle_source,
+  CoknnResult result = RunCoknn(q, k, blocked, vg, &obstacle_source,
                                 next_point, opts, &stats);
 
-  stats.vis_graph_vertices = vg.VertexCount();
+  stats.vis_graph_vertices = vg->VertexCount();
   stats.data_page_reads = data_io.faults();
   stats.obstacle_page_reads = obstacle_io.faults();
   stats.buffer_hits = data_io.hits() + obstacle_io.hits();
@@ -306,15 +343,15 @@ CoknnResult CoknnQuery(const rtree::RStarTree& data_tree,
 
 CoknnResult CoknnQuery1T(const rtree::RStarTree& unified_tree,
                          const geom::Segment& q, size_t k,
-                         const ConnOptions& opts) {
+                         const ConnOptions& opts, QueryWorkspace* workspace) {
   Timer timer;
   QueryStats stats;
   internal::PagerDelta io(unified_tree.pager());
 
-  const geom::Rect domain =
-      internal::WorkspaceBounds(&unified_tree, nullptr, q);
-  vis::VisGraph vg(domain, &stats);
-  UnifiedStream stream(unified_tree, q, &vg);
+  internal::ScopedQueryGraph graph(workspace, &unified_tree, nullptr, q,
+                                   &stats);
+  vis::VisGraph* vg = graph.get();
+  UnifiedStream stream(unified_tree, q, vg);
   const geom::IntervalSet blocked = internal::BlockedIntervals(unified_tree, q);
 
   auto next_point = [&](double bound, rtree::DataObject* out, double* dist) {
@@ -322,9 +359,9 @@ CoknnResult CoknnQuery1T(const rtree::RStarTree& unified_tree,
   };
 
   CoknnResult result =
-      RunCoknn(q, k, blocked, &vg, &stream, next_point, opts, &stats);
+      RunCoknn(q, k, blocked, vg, &stream, next_point, opts, &stats);
 
-  stats.vis_graph_vertices = vg.VertexCount();
+  stats.vis_graph_vertices = vg->VertexCount();
   stats.data_page_reads = io.faults();
   stats.buffer_hits = io.hits();
   stats.cpu_seconds = timer.ElapsedSeconds();

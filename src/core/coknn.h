@@ -30,6 +30,8 @@
 namespace conn {
 namespace core {
 
+class QueryWorkspace;  // core/workspace.h — reusable cross-query state
+
 /// One member of an interval's k-NN candidate set.
 struct KnnCandidate {
   int64_t pid = kNoPoint;
@@ -61,6 +63,15 @@ struct CoknnResult {
 
   /// Obstructed distance of the j-th nearest (0-based) at parameter t.
   double OdistAt(double t, size_t j) const;
+
+  /// Frame-hoisted variants for hot verification loops: the caller builds
+  /// geom::SegmentFrame(query) once and probes many parameters.
+  std::vector<int64_t> KnnAt(double t, const geom::SegmentFrame& frame) const;
+  double OdistAt(double t, size_t j, const geom::SegmentFrame& frame) const;
+
+  /// Binary-searches the ordered tuple partition for the tuple containing
+  /// parameter \p t (nullptr when t falls in no tuple, e.g. unreachable).
+  const CoknnTuple* FindTuple(double t) const;
 };
 
 /// The running COkNN result list (exposed for unit tests).
@@ -87,16 +98,22 @@ class KnnResultList {
   std::vector<CoknnTuple> tuples_;
 };
 
-/// COkNN with P and O in two separate R-trees.
+/// COkNN with P and O in two separate R-trees.  When \p workspace is
+/// non-null, the query runs its obstacle retrieval against that shared
+/// graph (batch execution) instead of building a fresh one; results are
+/// identical, per-query I/O and graph-size statistics then describe the
+/// shared state.
 CoknnResult CoknnQuery(const rtree::RStarTree& data_tree,
                        const rtree::RStarTree& obstacle_tree,
                        const geom::Segment& q, size_t k,
-                       const ConnOptions& opts = {});
+                       const ConnOptions& opts = {},
+                       QueryWorkspace* workspace = nullptr);
 
 /// COkNN over one unified R-tree (Section 4.5).
 CoknnResult CoknnQuery1T(const rtree::RStarTree& unified_tree,
                          const geom::Segment& q, size_t k,
-                         const ConnOptions& opts = {});
+                         const ConnOptions& opts = {},
+                         QueryWorkspace* workspace = nullptr);
 
 }  // namespace core
 }  // namespace conn

@@ -8,6 +8,7 @@
 #include "core/cpl.h"
 #include "core/engine_internal.h"
 #include "core/odist.h"
+#include "core/workspace.h"
 #include "rtree/best_first.h"
 #include "vis/dijkstra.h"
 
@@ -40,7 +41,8 @@ ConnResult DegenerateConn(const rtree::RStarTree& data_tree,
   ConnResult result;
   result.query = q;
 
-  const vis::VertexId target = vg->AddFixedVertex(q.a);
+  vis::QuerySession session(vg);
+  const vis::VertexId target = session.AddFixedVertex(q.a);
   double retrieved = 0.0;
   double best = kInf;
   int64_t best_pid = kNoPoint;
@@ -122,20 +124,21 @@ std::vector<double> ConnResult::SplitParams() const {
 
 ConnResult ConnQuery(const rtree::RStarTree& data_tree,
                      const rtree::RStarTree& obstacle_tree,
-                     const geom::Segment& q, const ConnOptions& opts) {
+                     const geom::Segment& q, const ConnOptions& opts,
+                     QueryWorkspace* workspace) {
   Timer timer;
   QueryStats stats;
   internal::PagerDelta data_io(data_tree.pager());
   internal::PagerDelta obstacle_io(obstacle_tree.pager());
 
-  const geom::Rect domain =
-      internal::WorkspaceBounds(&data_tree, &obstacle_tree, q);
-  vis::VisGraph vg(domain, &stats);
+  internal::ScopedQueryGraph graph(workspace, &data_tree, &obstacle_tree, q,
+                                   &stats);
+  vis::VisGraph* vg = graph.get();
   TreeObstacleSource obstacle_source(obstacle_tree, q);
 
   ConnResult result;
   if (q.Length() <= 0.0) {
-    result = DegenerateConn(data_tree, &obstacle_source, &vg, q, opts, &stats);
+    result = DegenerateConn(data_tree, &obstacle_source, vg, q, opts, &stats);
   } else {
     result.query = q;
     const geom::SegmentFrame frame(q);
@@ -144,8 +147,9 @@ ConnResult ConnQuery(const rtree::RStarTree& data_tree,
     const geom::IntervalSet reachable =
         internal::ReachablePieces(blocked, q.Length(), &result.unreachable);
 
+    vis::QuerySession session(vg);
     const std::vector<vis::VertexId> targets =
-        internal::AddTargetVertices(&vg, reachable, q);
+        internal::AddTargetVertices(&session, reachable, q);
 
     ResultList rl(reachable);
     rtree::BestFirstIterator points(data_tree, q);
@@ -166,16 +170,16 @@ ConnResult ConnQuery(const rtree::RStarTree& data_tree,
       ++stats.points_evaluated;
       const geom::Vec2 p = obj.AsPoint();
       std::unique_ptr<vis::DijkstraScan> scan;
-      IncrementalObstacleRetrieval(&obstacle_source, &vg, targets, p,
+      IncrementalObstacleRetrieval(&obstacle_source, vg, targets, p,
                                    &retrieved, &stats, &scan);
       const ControlPointList cpl = ComputeControlPointList(
-          &vg, scan.get(), p, frame, reachable, opts, &stats, &vr_cache);
+          vg, scan.get(), p, frame, reachable, opts, &stats, &vr_cache);
       rl.Update(static_cast<int64_t>(obj.id), cpl, frame, opts, &stats);
     }
     ExportTuples(rl, &result);
   }
 
-  stats.vis_graph_vertices = vg.VertexCount();
+  stats.vis_graph_vertices = vg->VertexCount();
   stats.data_page_reads = data_io.faults();
   stats.obstacle_page_reads = obstacle_io.faults();
   stats.buffer_hits = data_io.hits() + obstacle_io.hits();
@@ -185,20 +189,22 @@ ConnResult ConnQuery(const rtree::RStarTree& data_tree,
 }
 
 ConnResult ConnQuery1T(const rtree::RStarTree& unified_tree,
-                       const geom::Segment& q, const ConnOptions& opts) {
+                       const geom::Segment& q, const ConnOptions& opts,
+                       QueryWorkspace* workspace) {
   Timer timer;
   QueryStats stats;
   internal::PagerDelta io(unified_tree.pager());
 
-  const geom::Rect domain = internal::WorkspaceBounds(&unified_tree, nullptr, q);
-  vis::VisGraph vg(domain, &stats);
-  UnifiedStream stream(unified_tree, q, &vg);
+  internal::ScopedQueryGraph graph(workspace, &unified_tree, nullptr, q,
+                                   &stats);
+  vis::VisGraph* vg = graph.get();
+  UnifiedStream stream(unified_tree, q, vg);
 
   ConnResult result;
   if (q.Length() <= 0.0) {
     // For the degenerate case the unified stream acts as the obstacle
     // source; points it buffers are re-found by the dedicated iterator.
-    result = DegenerateConn(unified_tree, &stream, &vg, q, opts, &stats);
+    result = DegenerateConn(unified_tree, &stream, vg, q, opts, &stats);
   } else {
     result.query = q;
     const geom::SegmentFrame frame(q);
@@ -207,8 +213,9 @@ ConnResult ConnQuery1T(const rtree::RStarTree& unified_tree,
     const geom::IntervalSet reachable =
         internal::ReachablePieces(blocked, q.Length(), &result.unreachable);
 
+    vis::QuerySession session(vg);
     const std::vector<vis::VertexId> targets =
-        internal::AddTargetVertices(&vg, reachable, q);
+        internal::AddTargetVertices(&session, reachable, q);
 
     ResultList rl(reachable);
     VisibleRegionCache vr_cache;
@@ -218,24 +225,29 @@ ConnResult ConnQuery1T(const rtree::RStarTree& unified_tree,
     while (true) {
       const double bound =
           opts.use_rlmax_terminate ? rl.RlMax(frame) : kInf;
-      if (!stream.NextPointWithin(bound, &obj, &dist)) {
-        if (bound < kInf) ++stats.lemma2_terminations;
+      const StreamOutcome outcome = stream.NextPointWithin(bound, &obj, &dist);
+      if (outcome != StreamOutcome::kYielded) {
+        // Count Lemma 2 only when points beyond RLMAX remain — a drained
+        // stream stopping the loop is exhaustion, not pruning.
+        if (outcome == StreamOutcome::kBoundReached) {
+          ++stats.lemma2_terminations;
+        }
         break;
       }
       ++stats.points_evaluated;
       retrieved = std::max(retrieved, stream.retrieved_up_to());
       const geom::Vec2 p = obj.AsPoint();
       std::unique_ptr<vis::DijkstraScan> scan;
-      IncrementalObstacleRetrieval(&stream, &vg, targets, p, &retrieved,
+      IncrementalObstacleRetrieval(&stream, vg, targets, p, &retrieved,
                                    &stats, &scan);
       const ControlPointList cpl = ComputeControlPointList(
-          &vg, scan.get(), p, frame, reachable, opts, &stats, &vr_cache);
+          vg, scan.get(), p, frame, reachable, opts, &stats, &vr_cache);
       rl.Update(static_cast<int64_t>(obj.id), cpl, frame, opts, &stats);
     }
     ExportTuples(rl, &result);
   }
 
-  stats.vis_graph_vertices = vg.VertexCount();
+  stats.vis_graph_vertices = vg->VertexCount();
   stats.data_page_reads = io.faults();  // single tree: all I/O charged here
   stats.buffer_hits = io.hits();
   stats.cpu_seconds = timer.ElapsedSeconds();

@@ -31,6 +31,8 @@
 namespace conn {
 namespace core {
 
+class QueryWorkspace;  // core/workspace.h — reusable cross-query state
+
 /// One tuple of the final CONN result.
 struct ConnTuple {
   int64_t point_id = kNoPoint;  ///< ONN over range (kNoPoint: none exists)
@@ -60,14 +62,18 @@ struct ConnResult {
   std::vector<double> SplitParams() const;
 };
 
-/// CONN with P and O in two separate R-trees (the paper's default).
+/// CONN with P and O in two separate R-trees (the paper's default).  A
+/// non-null \p workspace (batch execution) makes the query reuse that
+/// shared obstacle graph instead of building its own.
 ConnResult ConnQuery(const rtree::RStarTree& data_tree,
                      const rtree::RStarTree& obstacle_tree,
-                     const geom::Segment& q, const ConnOptions& opts = {});
+                     const geom::Segment& q, const ConnOptions& opts = {},
+                     QueryWorkspace* workspace = nullptr);
 
 /// CONN with both sets in one unified R-tree (Section 4.5).
 ConnResult ConnQuery1T(const rtree::RStarTree& unified_tree,
-                       const geom::Segment& q, const ConnOptions& opts = {});
+                       const geom::Segment& q, const ConnOptions& opts = {},
+                       QueryWorkspace* workspace = nullptr);
 
 }  // namespace core
 }  // namespace conn

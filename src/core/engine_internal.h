@@ -4,8 +4,10 @@
 #ifndef CONN_CORE_ENGINE_INTERNAL_H_
 #define CONN_CORE_ENGINE_INTERNAL_H_
 
+#include <optional>
 #include <vector>
 
+#include "core/workspace.h"
 #include "geom/interval_set.h"
 #include "geom/predicates.h"
 #include "geom/segment.h"
@@ -17,17 +19,23 @@ namespace conn {
 namespace core {
 namespace internal {
 
-/// Workspace rectangle covering the trees' contents and the query segment
-/// (used as the local obstacle grid's domain).  Either tree may be null.
+/// Workspace rectangle covering the trees' contents and \p cover (used as
+/// the local obstacle grid's domain).  Either tree may be null.
 inline geom::Rect WorkspaceBounds(const rtree::RStarTree* a,
                                   const rtree::RStarTree* b,
-                                  const geom::Segment& q) {
-  geom::Rect r = q.Bounds();
+                                  const geom::Rect& cover) {
+  geom::Rect r = cover;
   if (a != nullptr) r = r.ExpandedToCover(a->Bounds());
   if (b != nullptr) r = r.ExpandedToCover(b->Bounds());
   // Guard against degenerate domains (single point workloads).
   const double pad = 1.0 + 1e-3 * std::max(r.Width(), r.Height());
   return geom::Rect({r.lo.x - pad, r.lo.y - pad}, {r.hi.x + pad, r.hi.y + pad});
+}
+
+inline geom::Rect WorkspaceBounds(const rtree::RStarTree* a,
+                                  const rtree::RStarTree* b,
+                                  const geom::Segment& q) {
+  return WorkspaceBounds(a, b, q.Bounds());
 }
 
 /// Arc-length intervals of \p q lying strictly inside obstacle interiors
@@ -77,17 +85,65 @@ inline geom::IntervalSet ReachablePieces(const geom::IntervalSet& blocked,
 }
 
 /// Adds a fixed graph vertex at both endpoints of every reachable piece of
-/// the query segment; returns the vertex ids (the IOR targets).
+/// the query segment; returns the vertex ids (the IOR targets).  The
+/// vertices are scoped to \p session: they disappear with it, leaving a
+/// shard-shared graph's obstacle state intact for the next query.
 inline std::vector<vis::VertexId> AddTargetVertices(
-    vis::VisGraph* vg, const geom::IntervalSet& reachable,
+    vis::QuerySession* session, const geom::IntervalSet& reachable,
     const geom::Segment& q) {
   std::vector<vis::VertexId> targets;
   for (const geom::Interval& piece : reachable.intervals()) {
-    targets.push_back(vg->AddFixedVertex(q.At(piece.lo)));
-    targets.push_back(vg->AddFixedVertex(q.At(piece.hi)));
+    targets.push_back(session->AddFixedVertex(q.At(piece.lo)));
+    targets.push_back(session->AddFixedVertex(q.At(piece.hi)));
   }
   return targets;
 }
+
+/// Restores a (possibly shard-shared) graph's stats sink on scope exit,
+/// after pointing it at the running query's counters.
+class GraphStatsScope {
+ public:
+  GraphStatsScope(vis::VisGraph* vg, QueryStats* stats)
+      : vg_(vg), saved_(vg->stats()) {
+    vg_->set_stats(stats);
+  }
+  ~GraphStatsScope() { vg_->set_stats(saved_); }
+
+  GraphStatsScope(const GraphStatsScope&) = delete;
+  GraphStatsScope& operator=(const GraphStatsScope&) = delete;
+
+ private:
+  vis::VisGraph* vg_;
+  QueryStats* saved_;
+};
+
+/// The one visibility graph a query runs against: the shared workspace's
+/// when one is supplied (batch execution), otherwise a query-local graph
+/// built over the trees + q.  Either way the graph's stats sink points at
+/// \p stats for this scope.  Every public query entry point opens with one
+/// of these so the resolution logic cannot drift between engines.
+class ScopedQueryGraph {
+ public:
+  ScopedQueryGraph(QueryWorkspace* workspace, const rtree::RStarTree* a,
+                   const rtree::RStarTree* b, const geom::Segment& q,
+                   QueryStats* stats)
+      : own_(workspace == nullptr
+                 ? std::optional<vis::VisGraph>(
+                       std::in_place, WorkspaceBounds(a, b, q), stats)
+                 : std::nullopt),
+        vg_(workspace != nullptr ? workspace->graph() : &*own_),
+        stats_scope_(vg_, stats) {}
+
+  ScopedQueryGraph(const ScopedQueryGraph&) = delete;
+  ScopedQueryGraph& operator=(const ScopedQueryGraph&) = delete;
+
+  vis::VisGraph* get() { return vg_; }
+
+ private:
+  std::optional<vis::VisGraph> own_;
+  vis::VisGraph* vg_;
+  GraphStatsScope stats_scope_;
+};
 
 /// Snapshot of a Pager's fault/hit counters for delta accounting.
 class PagerDelta {

@@ -48,32 +48,39 @@ double UnifiedStream::PeekPointDistHint() const {
   return kInf;  // unknown without advancing; callers combine with PeekDist
 }
 
-bool UnifiedStream::NextPointWithin(double bound, rtree::DataObject* out,
-                                    double* dist) {
+StreamOutcome UnifiedStream::NextPointWithin(double bound,
+                                             rtree::DataObject* out,
+                                             double* dist) {
   // Pending points were popped in ascending order, so the front is the
   // global minimum over all unprocessed points.
   if (!pending_points_.empty()) {
-    if (pending_points_.front().second > bound) return false;
+    if (pending_points_.front().second > bound) {
+      return StreamOutcome::kBoundReached;
+    }
     *out = pending_points_.front().first;
     *dist = pending_points_.front().second;
     pending_points_.pop_front();
-    return true;
+    return StreamOutcome::kYielded;
   }
-  while (it_.PeekDist() <= bound) {
+  while (true) {
+    const double peek = it_.PeekDist();
+    if (peek == std::numeric_limits<double>::infinity()) {
+      return StreamOutcome::kExhausted;
+    }
+    if (peek > bound) return StreamOutcome::kBoundReached;
     rtree::DataObject obj;
     double d;
-    if (!it_.Next(&obj, &d)) return false;  // exhausted (bound may be +inf)
+    CONN_CHECK(it_.Next(&obj, &d));  // finite peek => an object exists
     retrieved_up_to_ = std::max(retrieved_up_to_, d);
     if (obj.kind == rtree::ObjectKind::kPoint) {
       *out = obj;
       *dist = d;
-      return true;
+      return StreamOutcome::kYielded;
     }
     // Paper semantics for the unified traversal: a popped obstacle is
     // inserted into the local visibility graph right away.
     vg_->AddObstacle(obj.rect, obj.id);
   }
-  return false;
 }
 
 double IncrementalObstacleRetrieval(
@@ -102,8 +109,10 @@ double IncrementalObstacleRetrieval(
     rtree::DataObject obstacle;
     double obstacle_dist;
     while (source->NextObstacleWithin(d, &obstacle, &obstacle_dist)) {
-      vg->AddObstacle(obstacle.rect, obstacle.id);
-      fetched = true;
+      // On a shard-shared graph the obstacle may already be present
+      // (AddObstacle returns false); only a real insertion invalidates the
+      // scan and warrants another Dijkstra iteration.
+      if (vg->AddObstacle(obstacle.rect, obstacle.id)) fetched = true;
     }
     // All obstacles with mindist <= d are now local (the source yields them
     // in ascending order and refused only those beyond d).

@@ -28,6 +28,16 @@
 namespace conn {
 namespace core {
 
+/// Why a bounded stream pop did (or did not) yield an object.  The main
+/// query loops must distinguish kBoundReached (Lemma 2 actually pruned
+/// remaining points) from kExhausted (the iterator simply ran dry) to keep
+/// the lemma2_terminations statistic honest.
+enum class StreamOutcome {
+  kYielded,       ///< an object was produced
+  kBoundReached,  ///< objects remain, but all lie beyond the bound
+  kExhausted,     ///< the underlying stream has no objects left
+};
+
 /// Ascending-mindist stream of obstacles.
 class ObstacleSource {
  public:
@@ -74,9 +84,14 @@ class UnifiedStream : public ObstacleSource {
   double PeekPointDistHint() const;
 
   /// Pops the next data point with distance <= bound.  Obstacles
-  /// encountered on the way enter the visibility graph.  Returns false when
-  /// no point remains within the bound.
-  bool NextPointWithin(double bound, rtree::DataObject* out, double* dist);
+  /// encountered on the way enter the visibility graph.  kBoundReached
+  /// means entries remain beyond the bound — RLMAX genuinely cut the
+  /// unified traversal short (they may be obstacles rather than points;
+  /// telling those apart would cost the very I/O the bound saves);
+  /// kExhausted means the stream ran dry.  The distinction drives Lemma-2
+  /// stat accounting.
+  StreamOutcome NextPointWithin(double bound, rtree::DataObject* out,
+                                double* dist);
 
   /// Largest distance of any object popped from the underlying stream so
   /// far: every obstacle with mindist below this is already in the graph.

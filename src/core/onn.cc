@@ -46,6 +46,9 @@ OnnResult OnnQuery(const rtree::RStarTree& data_tree,
   double retrieved = 0.0;
   rtree::DataObject obj;
   double dist;
+  // Termination here is the plain k-th-bound cutoff; ONN keeps no
+  // lemma2_terminations statistic, so the bound-vs-exhaustion distinction
+  // the segment engines draw (StreamOutcome) does not apply.
   while (points.PeekDist() < kth_bound() ||
          (best.size() < k && points.PeekDist() < kInf)) {
     CONN_CHECK(points.Next(&obj, &dist));

@@ -1,0 +1,15 @@
+#include "core/workspace.h"
+
+#include "core/engine_internal.h"
+
+namespace conn {
+namespace core {
+
+QueryWorkspace::QueryWorkspace(const rtree::RStarTree* data_tree,
+                               const rtree::RStarTree* obstacle_tree,
+                               const geom::Rect& query_cover)
+    : vg_(internal::WorkspaceBounds(data_tree, obstacle_tree, query_cover),
+          /*stats=*/nullptr) {}
+
+}  // namespace core
+}  // namespace conn

@@ -1,0 +1,171 @@
+#include "exec/batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "core/workspace.h"
+#include "exec/sharder.h"
+#include "exec/thread_pool.h"
+#include "geom/box.h"
+
+namespace conn {
+namespace exec {
+
+namespace {
+
+/// Bounding rectangle of a shard's query segments (the workspace's extra
+/// grid cover beyond the trees' own bounds).
+geom::Rect ShardCover(const std::vector<BatchQuery>& queries,
+                      const std::vector<size_t>& shard) {
+  geom::Rect cover = queries[shard.front()].segment.Bounds();
+  for (size_t i = 1; i < shard.size(); ++i) {
+    cover = cover.ExpandedToCover(queries[shard[i]].segment.Bounds());
+  }
+  return cover;
+}
+
+/// Typical spacing between neighboring obstacles in \p tree — the natural
+/// length scale of a query's obstacle neighborhood.  Zero/short queries
+/// (DegenerateConn point lookups) have no extent of their own, so the
+/// locality guard measures their spread in units of this instead.  For the
+/// unified tree (1-tree mode) size() also counts data points, so the value
+/// underestimates the true spacing — the guard then errs toward *not*
+/// sharing, which is the safe direction; callers needing exact control set
+/// BatchOptions::locality_extent_floor.
+double ObstacleSpacing(const rtree::RStarTree& tree) {
+  if (tree.size() == 0) return 0.0;
+  const geom::Rect b = tree.Bounds();
+  return std::max(b.Width(), b.Height()) /
+         std::sqrt(static_cast<double>(tree.size()));
+}
+
+/// The adaptive-sharing locality guard (see BatchOptions).  \p extent_floor
+/// keeps the guard meaningful for (near-)degenerate query segments.
+bool ShardIsLocal(const std::vector<BatchQuery>& queries,
+                  const std::vector<size_t>& shard, const geom::Rect& cover,
+                  double factor, double extent_floor) {
+  if (factor <= 0.0) return true;
+  double max_extent = extent_floor;
+  for (size_t idx : shard) {
+    const geom::Rect b = queries[idx].segment.Bounds();
+    max_extent = std::max({max_extent, b.Width(), b.Height()});
+  }
+  return std::max(cover.Width(), cover.Height()) <= factor * max_extent;
+}
+
+/// Extent floor: a few obstacle spacings — queries that close together
+/// overlap in the obstacles they retrieve even when the segments
+/// themselves are points.
+constexpr double kSpacingFloorFactor = 8.0;
+
+}  // namespace
+
+BatchRunner::BatchRunner(const rtree::RStarTree& data_tree,
+                         const rtree::RStarTree& obstacle_tree,
+                         const BatchOptions& opts)
+    : data_(&data_tree), obstacles_(&obstacle_tree), opts_(opts) {}
+
+BatchRunner::BatchRunner(const rtree::RStarTree& unified_tree,
+                         const BatchOptions& opts)
+    : data_(&unified_tree), obstacles_(nullptr), opts_(opts) {}
+
+BatchResult BatchRunner::Run(const std::vector<BatchQuery>& queries) const {
+  Timer timer;
+  BatchResult result;
+  result.outcomes.resize(queries.size());
+  result.stats.query_count = queries.size();
+  if (queries.empty()) return result;
+
+  std::vector<geom::Segment> segments;
+  segments.reserve(queries.size());
+  for (const BatchQuery& q : queries) segments.push_back(q.segment);
+  const std::vector<std::vector<size_t>> shards =
+      ShardByLocality(segments, opts_.target_shard_size);
+  result.stats.shard_count = shards.size();
+
+  const uint64_t data_faults0 = data_->pager().faults();
+  const uint64_t data_hits0 = data_->pager().hits();
+  const uint64_t obs_faults0 =
+      obstacles_ != nullptr ? obstacles_->pager().faults() : 0;
+  const uint64_t obs_hits0 =
+      obstacles_ != nullptr ? obstacles_->pager().hits() : 0;
+
+  size_t threads = opts_.num_threads != 0
+                       ? opts_.num_threads
+                       : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min(threads, shards.size());
+  result.stats.threads_used = threads;
+
+  const double extent_floor =
+      opts_.locality_extent_floor > 0.0
+          ? opts_.locality_extent_floor
+          : kSpacingFloorFactor *
+                ObstacleSpacing(obstacles_ != nullptr ? *obstacles_ : *data_);
+
+  std::mutex stats_mu;
+  auto run_shard = [&](const std::vector<size_t>& shard) {
+    std::optional<core::QueryWorkspace> workspace;
+    if (opts_.share_workspace) {
+      const geom::Rect cover = ShardCover(queries, shard);
+      if (ShardIsLocal(queries, shard, cover, opts_.share_locality_factor,
+                       extent_floor)) {
+        workspace.emplace(data_, obstacles_, cover);
+      }
+    }
+    core::QueryWorkspace* ws = workspace ? &*workspace : nullptr;
+    QueryStats shard_totals;
+    for (size_t idx : shard) {
+      const BatchQuery& q = queries[idx];
+      QueryOutcome& out = result.outcomes[idx];
+      if (q.kind == BatchQuery::Kind::kConn) {
+        out.conn = obstacles_ != nullptr
+                       ? core::ConnQuery(*data_, *obstacles_, q.segment,
+                                         opts_.query, ws)
+                       : core::ConnQuery1T(*data_, q.segment, opts_.query, ws);
+        shard_totals += out.conn->stats;
+      } else {
+        out.coknn =
+            obstacles_ != nullptr
+                ? core::CoknnQuery(*data_, *obstacles_, q.segment, q.k,
+                                   opts_.query, ws)
+                : core::CoknnQuery1T(*data_, q.segment, q.k, opts_.query, ws);
+        shard_totals += out.coknn->stats;
+      }
+    }
+    std::lock_guard<std::mutex> lock(stats_mu);
+    result.stats.per_query_totals += shard_totals;
+    if (workspace) {
+      result.stats.obstacle_reuse_hits += workspace->ObstacleReuseHits();
+      result.stats.obstacles_inserted += workspace->ObstacleCount();
+    }
+  };
+
+  if (threads <= 1) {
+    // Single worker: run inline, sparing the pool round-trip (and keeping
+    // single-core batch runs trivially deterministic to profile).
+    for (const std::vector<size_t>& shard : shards) run_shard(shard);
+  } else {
+    ThreadPool pool(threads);
+    for (const std::vector<size_t>& shard : shards) {
+      pool.Submit([&run_shard, &shard] { run_shard(shard); });
+    }
+    pool.WaitIdle();
+  }
+
+  result.stats.data_page_faults = data_->pager().faults() - data_faults0;
+  result.stats.buffer_hits = data_->pager().hits() - data_hits0;
+  if (obstacles_ != nullptr) {
+    result.stats.obstacle_page_faults =
+        obstacles_->pager().faults() - obs_faults0;
+    result.stats.buffer_hits += obstacles_->pager().hits() - obs_hits0;
+  }
+  result.stats.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace exec
+}  // namespace conn

@@ -1,0 +1,159 @@
+// Batched multi-query execution of CONN / COkNN workloads.
+//
+// The paper's engine answers one query at a time; under the heavy
+// multi-user traffic the system targets, that model rebuilds a local
+// visibility graph per query and re-retrieves every obstacle that several
+// nearby queries share.  BatchRunner amortizes that work the way the
+// mesh-based successors amortize their precomputed structure: queries are
+// sharded by spatial locality (exec/sharder.h), shards run on a worker
+// pool (exec/thread_pool.h), and every shard's queries share one
+// core::QueryWorkspace, so incremental obstacle retrieval accumulates
+// across the shard instead of restarting per query.
+//
+// Correctness bar: results are identical to the single-query engine — the
+// shared graph only ever holds a superset of each query's Theorem-2
+// search-range obstacles (see core/workspace.h).  Per-query CPU/algorithm
+// statistics stay per-query; per-query *I/O* counters are deltas on shared
+// atomic pager counters and therefore only meaningful in aggregate when
+// several shards run concurrently (BatchStats reports the batch-level
+// deltas).
+
+#ifndef CONN_EXEC_BATCH_H_
+#define CONN_EXEC_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/coknn.h"
+#include "core/conn.h"
+#include "core/options.h"
+#include "geom/segment.h"
+#include "rtree/rstar_tree.h"
+
+namespace conn {
+namespace exec {
+
+/// One query of a batch.
+struct BatchQuery {
+  enum class Kind { kConn, kCoknn };
+
+  Kind kind = Kind::kCoknn;
+  geom::Segment segment;
+  size_t k = 1;  ///< COkNN only
+
+  static BatchQuery Conn(const geom::Segment& q) {
+    return BatchQuery{Kind::kConn, q, 1};
+  }
+  static BatchQuery Coknn(const geom::Segment& q, size_t k) {
+    return BatchQuery{Kind::kCoknn, q, k};
+  }
+};
+
+/// Execution knobs.
+struct BatchOptions {
+  /// Worker threads; 0 resolves to std::thread::hardware_concurrency().
+  size_t num_threads = 0;
+
+  /// Queries per spatial shard (the workspace-sharing granularity).
+  size_t target_shard_size = 8;
+
+  /// When false every query builds its own graph (degenerates to the
+  /// single-query engine on a pool — the ablation baseline).
+  bool share_workspace = true;
+
+  /// Locality guard for adaptive sharing: a shard shares its workspace
+  /// only when its cover rectangle is at most this factor times the
+  /// largest query MBR extent in the shard (floored at a few typical
+  /// obstacle spacings, so clustered point queries still share).  A
+  /// dispersed shard (uniform traffic at low density) would union
+  /// far-apart obstacle neighborhoods into one big graph and make every
+  /// insertion and scan pay for it — such shards fall back to per-query
+  /// graphs instead.  <= 0 disables the guard (always share).
+  double share_locality_factor = 4.0;
+
+  /// Explicit extent floor for the locality guard, in workspace units.
+  /// <= 0 derives it from the indexed obstacle spacing; in 1-tree mode
+  /// that derivation counts data points too and under-floors (sharing may
+  /// be declined for tight degenerate-query clusters), so batches of
+  /// point queries over a unified tree should set this to the expected
+  /// obstacle-neighborhood radius.
+  double locality_extent_floor = 0.0;
+
+  /// Per-query engine options.
+  core::ConnOptions query;
+};
+
+/// Result slot for one input query (exactly one member is set, matching
+/// the query's kind).
+struct QueryOutcome {
+  std::optional<core::ConnResult> conn;
+  std::optional<core::CoknnResult> coknn;
+};
+
+/// Aggregate accounting for one Run().
+struct BatchStats {
+  size_t query_count = 0;
+  size_t shard_count = 0;
+  size_t threads_used = 0;
+
+  /// Obstacle insertions skipped because a shard sibling already retrieved
+  /// the obstacle — the work saved by workspace sharing.
+  uint64_t obstacle_reuse_hits = 0;
+
+  /// Unique obstacles inserted across all shard workspaces.
+  uint64_t obstacles_inserted = 0;
+
+  /// Batch-level pager deltas (single-threaded snapshots around the run).
+  uint64_t data_page_faults = 0;
+  uint64_t obstacle_page_faults = 0;
+  uint64_t buffer_hits = 0;
+
+  /// Element-wise sum of every query's own QueryStats.
+  QueryStats per_query_totals;
+
+  double wall_seconds = 0.0;
+
+  double QueriesPerSecond() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(query_count) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// Complete answer of a batch run; outcomes are in input order.
+struct BatchResult {
+  std::vector<QueryOutcome> outcomes;
+  BatchStats stats;
+};
+
+/// Executes batches of CONN/COkNN queries against one tree configuration.
+/// The trees must outlive the runner and must not be modified while a
+/// batch runs.  Run() is const and reentrant.
+class BatchRunner {
+ public:
+  /// 2-tree configuration (the paper's default).
+  BatchRunner(const rtree::RStarTree& data_tree,
+              const rtree::RStarTree& obstacle_tree,
+              const BatchOptions& opts = {});
+
+  /// 1-tree configuration (Section 4.5).
+  explicit BatchRunner(const rtree::RStarTree& unified_tree,
+                       const BatchOptions& opts = {});
+
+  BatchResult Run(const std::vector<BatchQuery>& queries) const;
+
+  const BatchOptions& options() const { return opts_; }
+
+ private:
+  const rtree::RStarTree* data_;       // unified tree in 1-tree mode
+  const rtree::RStarTree* obstacles_;  // nullptr in 1-tree mode
+  BatchOptions opts_;
+};
+
+}  // namespace exec
+}  // namespace conn
+
+#endif  // CONN_EXEC_BATCH_H_

@@ -1,0 +1,69 @@
+#include "exec/sharder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/box.h"
+
+namespace conn {
+namespace exec {
+
+std::vector<std::vector<size_t>> ShardByLocality(
+    const std::vector<geom::Segment>& queries, size_t target_shard_size) {
+  const size_t n = queries.size();
+  if (n == 0) return {};
+  if (target_shard_size == 0) target_shard_size = 1;
+
+  const size_t shard_count = (n + target_shard_size - 1) / target_shard_size;
+  if (shard_count <= 1) {
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    return {all};
+  }
+
+  struct Entry {
+    geom::Vec2 center;
+    size_t index;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const geom::Rect mbr = queries[i].Bounds();
+    entries.push_back({{0.5 * (mbr.lo.x + mbr.hi.x),
+                        0.5 * (mbr.lo.y + mbr.hi.y)},
+                       i});
+  }
+
+  // STR: ceil(sqrt(S)) vertical slices, each sliced into y-runs of the
+  // target size.
+  const size_t slices = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(shard_count))));
+  const size_t slice_cap = (n + slices - 1) / slices;
+
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.center.x != b.center.x) return a.center.x < b.center.x;
+    return a.index < b.index;
+  });
+
+  std::vector<std::vector<size_t>> shards;
+  for (size_t s = 0; s * slice_cap < n; ++s) {
+    const size_t lo = s * slice_cap;
+    const size_t hi = std::min(n, lo + slice_cap);
+    std::sort(entries.begin() + lo, entries.begin() + hi,
+              [](const Entry& a, const Entry& b) {
+                if (a.center.y != b.center.y) return a.center.y < b.center.y;
+                return a.index < b.index;
+              });
+    for (size_t run = lo; run < hi; run += target_shard_size) {
+      const size_t run_hi = std::min(hi, run + target_shard_size);
+      std::vector<size_t> shard;
+      shard.reserve(run_hi - run);
+      for (size_t i = run; i < run_hi; ++i) shard.push_back(entries[i].index);
+      shards.push_back(std::move(shard));
+    }
+  }
+  return shards;
+}
+
+}  // namespace exec
+}  // namespace conn

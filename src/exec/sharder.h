@@ -1,0 +1,33 @@
+// Spatial sharding of a query batch: STR-style tiling over the query
+// segments' MBR centers.
+//
+// The batch executor's workspace reuse only pays off when the queries
+// sharing a workspace overlap in the obstacles their incremental retrieval
+// touches, i.e. when they are spatially close.  Sort-Tile-Recursive — the
+// same space partitioning the R-tree bulk loader uses — gives compact,
+// deterministic tiles in O(n log n): sort centers by x, cut into vertical
+// slices of ~sqrt(S) tiles each, sort each slice by y, cut into runs of the
+// target shard size.
+
+#ifndef CONN_EXEC_SHARDER_H_
+#define CONN_EXEC_SHARDER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/segment.h"
+
+namespace conn {
+namespace exec {
+
+/// Partitions query indices [0, queries.size()) into spatially compact
+/// shards of roughly \p target_shard_size members each.  Every index
+/// appears in exactly one shard; shards and their members are in a
+/// deterministic order (ties broken by index).
+std::vector<std::vector<size_t>> ShardByLocality(
+    const std::vector<geom::Segment>& queries, size_t target_shard_size);
+
+}  // namespace exec
+}  // namespace conn
+
+#endif  // CONN_EXEC_SHARDER_H_

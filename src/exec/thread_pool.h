@@ -1,0 +1,58 @@
+// A small fixed-size worker pool for shard execution.
+//
+// Deliberately minimal: FIFO queue, no futures, no work stealing — shards
+// are coarse-grained (several queries each), so a condition-variable queue
+// is nowhere near the bottleneck.  WaitIdle() gives the batch runner its
+// join point without destroying the pool between batches.
+
+#ifndef CONN_EXEC_THREAD_POOL_H_
+#define CONN_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace conn {
+namespace exec {
+
+/// Fixed-size FIFO worker pool.
+class ThreadPool {
+ public:
+  /// Spawns \p num_threads workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Tasks must not Submit() to the same pool and then
+  /// WaitIdle() on it (trivial deadlock); plain nested Submit is fine.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void WaitIdle();
+
+  size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace exec
+}  // namespace conn
+
+#endif  // CONN_EXEC_THREAD_POOL_H_

@@ -13,7 +13,7 @@ Status PageFile::Read(PageId id, Page* out) const {
     return Status::NotFound("PageFile::Read: page " + std::to_string(id) +
                             " not allocated");
   }
-  ++device_reads_;
+  device_reads_.fetch_add(1, std::memory_order_relaxed);
   *out = *pages_[id];
   return Status::OK();
 }

@@ -8,6 +8,7 @@
 #ifndef CONN_STORAGE_PAGE_FILE_H_
 #define CONN_STORAGE_PAGE_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -23,11 +24,23 @@ class PageFile {
  public:
   PageFile() = default;
 
-  // Non-copyable (identity semantics, like a file handle).
+  // Non-copyable (identity semantics, like a file handle).  Moves must not
+  // race concurrent access (only tree construction moves files).
   PageFile(const PageFile&) = delete;
   PageFile& operator=(const PageFile&) = delete;
-  PageFile(PageFile&&) = default;
-  PageFile& operator=(PageFile&&) = default;
+  PageFile(PageFile&& other) noexcept
+      : pages_(std::move(other.pages_)),
+        device_reads_(other.device_reads_.load(std::memory_order_relaxed)),
+        device_writes_(other.device_writes_) {}
+  PageFile& operator=(PageFile&& other) noexcept {
+    if (this != &other) {
+      pages_ = std::move(other.pages_);
+      device_reads_.store(other.device_reads_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+      device_writes_ = other.device_writes_;
+    }
+    return *this;
+  }
 
   /// Allocates a zeroed page and returns its id.
   PageId Allocate();
@@ -42,13 +55,16 @@ class PageFile {
   Status Write(PageId id, const Page& page);
 
   /// Raw device-level counters (all accesses, buffered or not).
-  uint64_t device_reads() const { return device_reads_; }
+  uint64_t device_reads() const {
+    return device_reads_.load(std::memory_order_relaxed);
+  }
   uint64_t device_writes() const { return device_writes_; }
 
  private:
   // unique_ptr keeps Page addresses stable and avoids 4 KB moves on growth.
   std::vector<std::unique_ptr<Page>> pages_;
-  mutable uint64_t device_reads_ = 0;  // Read() is logically const
+  // Read() is logically const and runs concurrently from query threads.
+  mutable std::atomic<uint64_t> device_reads_{0};
   uint64_t device_writes_ = 0;
 };
 

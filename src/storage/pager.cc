@@ -4,18 +4,31 @@ namespace conn {
 namespace storage {
 
 Status Pager::Read(PageId id, Page* out) {
-  if (buffer_.Get(id, out)) {
-    ++hits_;
+  // Capacity is fixed while queries run, so reading it unlocked is safe;
+  // the unbuffered configuration (the paper's default) takes no lock at
+  // all — PageFile reads are immutable-state lookups.
+  if (buffer_.capacity() > 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (buffer_.Get(id, out)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      }
+    }
+    CONN_RETURN_IF_ERROR(file_.Read(id, out));
+    faults_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer_.Put(id, *out);
     return Status::OK();
   }
   CONN_RETURN_IF_ERROR(file_.Read(id, out));
-  ++faults_;
-  buffer_.Put(id, *out);
+  faults_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status Pager::Write(PageId id, const Page& page) {
   CONN_RETURN_IF_ERROR(file_.Write(id, page));
+  std::lock_guard<std::mutex> lock(mu_);
   buffer_.Put(id, page);
   return Status::OK();
 }

@@ -1,11 +1,20 @@
 // Pager: the access path every R-tree node read goes through.  Combines the
 // simulated disk (PageFile) with an optional LRU buffer and maintains the
 // fault/hit counters that drive the paper's I/O metric (10 ms per fault).
+//
+// Concurrent Read()s from several query threads (the batch executor's
+// shards) are safe: the counters are atomic and the shared LRU state is
+// mutex-guarded.  With buffering disabled (capacity 0 — the paper's default
+// configuration) reads bypass the lock entirely.  Structural mutation
+// (Allocate / Write / SetBufferCapacity) and moves remain single-threaded
+// operations: trees are built before queries run against them.
 
 #ifndef CONN_STORAGE_PAGER_H_
 #define CONN_STORAGE_PAGER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 
 #include "common/status.h"
 #include "storage/lru_buffer.h"
@@ -21,8 +30,25 @@ class Pager {
 
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
-  Pager(Pager&&) = default;
-  Pager& operator=(Pager&&) = default;
+
+  // Moves transfer the counters; they must not race concurrent access
+  // (only tree construction moves pagers).
+  Pager(Pager&& other) noexcept
+      : file_(std::move(other.file_)),
+        buffer_(std::move(other.buffer_)),
+        faults_(other.faults_.load(std::memory_order_relaxed)),
+        hits_(other.hits_.load(std::memory_order_relaxed)) {}
+  Pager& operator=(Pager&& other) noexcept {
+    if (this != &other) {
+      file_ = std::move(other.file_);
+      buffer_ = std::move(other.buffer_);
+      faults_.store(other.faults_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+      hits_.store(other.hits_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    }
+    return *this;
+  }
 
   /// Allocates a fresh zeroed page on the underlying file.
   PageId Allocate() { return file_.Allocate(); }
@@ -31,29 +57,35 @@ class Pager {
   size_t PageCount() const { return file_.PageCount(); }
 
   /// Reads page \p id through the buffer.  A miss counts one fault.
+  /// Thread-safe against concurrent Read()s.
   Status Read(PageId id, Page* out);
 
   /// Writes page \p id through to the file and refreshes the buffer.
   Status Write(PageId id, const Page& page);
 
   /// Sets the LRU buffer capacity in pages (0 disables buffering, the
-  /// default configuration of the paper's experiments).
+  /// default configuration of the paper's experiments).  Not thread-safe
+  /// against in-flight reads.
   void SetBufferCapacity(size_t pages) { buffer_.SetCapacity(pages); }
 
   /// Drops buffered pages without changing capacity.
-  void ClearBuffer() { buffer_.Clear(); }
+  void ClearBuffer() {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer_.Clear();
+  }
 
   /// Page faults (buffer misses) since construction.
-  uint64_t faults() const { return faults_; }
+  uint64_t faults() const { return faults_.load(std::memory_order_relaxed); }
 
   /// Buffer hits since construction.
-  uint64_t hits() const { return hits_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
 
  private:
   PageFile file_;
   LruBuffer buffer_;
-  uint64_t faults_ = 0;
-  uint64_t hits_ = 0;
+  std::mutex mu_;  // guards buffer_ contents (LRU order + map)
+  std::atomic<uint64_t> faults_{0};
+  std::atomic<uint64_t> hits_{0};
 };
 
 }  // namespace storage

@@ -15,8 +15,10 @@ DijkstraScan::DijkstraScan(VisGraph* graph, geom::Vec2 source)
   settled_.assign(n, false);
   // Defer the source's sight-line tests: vertices are seeded lazily in
   // ascending Euclidean distance as the settlement frontier reaches them.
+  // Recycled slots (fixed vertices of finished query sessions) are skipped.
   seed_order_.reserve(n);
   for (VertexId v = 0; v < n; ++v) {
+    if (!graph->IsAlive(v)) continue;
     seed_order_.emplace_back(geom::Dist(source, graph->VertexPos(v)), v);
   }
   std::sort(seed_order_.begin(), seed_order_.end());

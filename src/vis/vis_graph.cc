@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace conn {
 namespace vis {
 
@@ -9,17 +11,74 @@ VisGraph::VisGraph(const geom::Rect& domain, QueryStats* stats)
     : obstacles_(domain), stats_(stats) {}
 
 VertexId VisGraph::AddVertexInternal(geom::Vec2 p) {
+  if (!free_slots_.empty()) {
+    const VertexId id = free_slots_.back();
+    free_slots_.pop_back();
+    vertices_[id] = p;
+    adj_[id].clear();
+    adj_computed_[id] = false;
+    corner_[id] = CornerInfo{};
+    alive_[id] = true;
+    return id;
+  }
   const VertexId id = static_cast<VertexId>(vertices_.size());
   vertices_.push_back(p);
   adj_.emplace_back();
   adj_computed_.push_back(false);
   corner_.emplace_back();
+  alive_.push_back(true);
   return id;
 }
 
-VertexId VisGraph::AddFixedVertex(geom::Vec2 p) { return AddVertexInternal(p); }
+VertexId VisGraph::AddFixedVertex(geom::Vec2 p) {
+  const VertexId id = AddVertexInternal(p);
+  // Eager adjacency + reciprocal patching: a fixed vertex added *after*
+  // obstacles (a later query's targets on a shard-shared graph) must appear
+  // in every already-computed list, or cached-adjacency Dijkstra walks
+  // could never reach it.
+  RecomputeAdjacency(id);
+  for (const VisEdge& e : adj_[id]) {
+    if (adj_computed_[e.to]) adj_[e.to].push_back({id, e.length});
+  }
+  return id;
+}
 
-void VisGraph::AddObstacle(const geom::Rect& rect, rtree::ObjectId id) {
+void VisGraph::RemoveFixedVertices(const std::vector<VertexId>& ids) {
+  for (VertexId v : ids) {
+    CONN_CHECK_MSG(v < vertices_.size() && alive_[v],
+                   "removing a vertex that is not live");
+    CONN_CHECK_MSG(!corner_[v].is_corner,
+                   "obstacle corners are persistent; only fixed vertices "
+                   "can be removed");
+    if (adj_computed_[v]) {
+      // Symmetry invariant: the computed lists holding an edge to v are
+      // exactly v's own neighbors with computed lists.
+      for (const VisEdge& e : adj_[v]) {
+        if (!adj_computed_[e.to]) continue;
+        std::erase_if(adj_[e.to],
+                      [v](const VisEdge& r) { return r.to == v; });
+      }
+    } else {
+      // Fallback (not reached by the eager-insertion paths above): scan
+      // every computed list.
+      for (VertexId u = 0; u < vertices_.size(); ++u) {
+        if (!adj_computed_[u]) continue;
+        std::erase_if(adj_[u], [v](const VisEdge& r) { return r.to == v; });
+      }
+    }
+    adj_[v].clear();
+    adj_computed_[v] = false;
+    alive_[v] = false;
+    free_slots_.push_back(v);
+  }
+}
+
+bool VisGraph::AddObstacle(const geom::Rect& rect, rtree::ObjectId id) {
+  if (!obstacle_ids_.insert(id).second) {
+    // Already present: a shard sibling's incremental retrieval fetched it.
+    ++duplicate_obstacle_skips_;
+    return false;
+  }
   obstacles_.Add(rect, id);
   ++epoch_;  // visible-region caches must revalidate
 
@@ -57,6 +116,7 @@ void VisGraph::AddObstacle(const geom::Rect& rect, rtree::ObjectId id) {
     ++stats_->obstacles_evaluated;
     stats_->vis_graph_vertices = vertices_.size();
   }
+  return true;
 }
 
 bool VisGraph::Visible(geom::Vec2 a, geom::Vec2 b) const {
@@ -69,7 +129,7 @@ void VisGraph::RecomputeAdjacency(VertexId v) {
   edges.clear();
   const geom::Vec2 pos = vertices_[v];
   for (VertexId u = 0; u < vertices_.size(); ++u) {
-    if (u == v) continue;
+    if (u == v || !alive_[u]) continue;
     const geom::Vec2 other = vertices_[u];
     const double len = geom::Dist(pos, other);
     if (len <= geom::kEpsDist) continue;  // coincident vertices: skip
@@ -90,7 +150,9 @@ const std::vector<VisEdge>& VisGraph::Neighbors(VertexId v) {
 }
 
 void VisGraph::MaterializeAllAdjacency() {
-  for (VertexId v = 0; v < vertices_.size(); ++v) Neighbors(v);
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    if (alive_[v]) Neighbors(v);
+  }
 }
 
 }  // namespace vis

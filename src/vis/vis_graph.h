@@ -8,12 +8,21 @@
 // accumulate, and "the IOR for all the points in P will access the obstacle
 // set O at most once".
 //
+// Since the batch executor (src/exec) the graph is also shared *across
+// queries of one shard*: obstacles persist for the lifetime of the graph,
+// while each query's fixed target vertices are scoped to a QuerySession and
+// removed when the session ends.  AddObstacle deduplicates by obstacle id,
+// so overlapping incremental retrievals of spatially close queries pay for
+// each obstacle's insertion (corner adjacency + edge pruning) exactly once.
+//
 // Adjacency maintenance is incremental ("the insertion/deletion/update can
 // be efficiently supported", Section 1): a vertex's list is computed
-// lazily on first touch and then kept valid under obstacle insertions by
+// eagerly on insertion and then kept valid under obstacle insertions by
 // (a) pruning exactly the cached edges the new rectangle blocks and
 // (b) eagerly computing the four new corners' edges and patching them into
-// the cached lists of their visible counterparts.  Wholesale invalidation
+// the cached lists of their visible counterparts.  Fixed-vertex insertion
+// and removal patch the same way, relying on the symmetry invariant
+// (u in adj[v] <=> v in adj[u] for computed lists).  Wholesale invalidation
 // (recompute-everything-per-insertion) is the ablation baseline measured
 // in bench/micro_visgraph.
 
@@ -21,6 +30,7 @@
 #define CONN_VIS_VIS_GRAPH_H_
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "common/stats.h"
@@ -46,29 +56,52 @@ class VisGraph {
   /// visibility-test counts.
   explicit VisGraph(const geom::Rect& domain, QueryStats* stats = nullptr);
 
-  /// Adds a persistent fixed vertex (query-segment endpoints).  Must be
-  /// called before obstacles for deterministic vertex numbering.
+  /// Adds a fixed vertex (query-segment endpoints).  Works on a graph that
+  /// already holds obstacles: the vertex's adjacency is computed eagerly
+  /// and reciprocal edges are patched into the cached lists of its visible
+  /// counterparts.  Freed slots from RemoveFixedVertices are reused, so
+  /// shard-shared graphs do not grow with query count.
   VertexId AddFixedVertex(geom::Vec2 p);
 
-  /// Inserts an obstacle: registers its rectangle for blocking tests, adds
-  /// its four corners as vertices, and invalidates cached adjacency.
-  void AddObstacle(const geom::Rect& rect, rtree::ObjectId id);
+  /// Removes fixed vertices added earlier (must not be obstacle corners):
+  /// unpatches their reciprocal edges and recycles the slots.  Prefer the
+  /// QuerySession RAII wrapper.
+  void RemoveFixedVertices(const std::vector<VertexId>& ids);
 
-  /// Number of vertices (|SVG| of Section 5.1, excluding transient points).
+  /// Inserts an obstacle: registers its rectangle for blocking tests, adds
+  /// its four corners as vertices, and patches cached adjacency.  Returns
+  /// false (and changes nothing) when an obstacle with this id is already
+  /// present — the cross-query reuse fast path of shard-shared graphs.
+  bool AddObstacle(const geom::Rect& rect, rtree::ObjectId id);
+
+  /// Number of vertex slots, live and recycled (|SVG| of Section 5.1,
+  /// excluding transient points).  Dijkstra arrays are sized by this.
   size_t VertexCount() const { return vertices_.size(); }
+
+  /// True iff slot \p v currently holds a vertex.
+  bool IsAlive(VertexId v) const { return alive_[v]; }
 
   /// Number of obstacles inserted so far.
   size_t ObstacleCount() const { return obstacles_.size(); }
 
-  /// Monotone counter bumped by every AddObstacle; consumers caching data
-  /// derived from the obstacle set (e.g. visible regions) revalidate
-  /// against it.  Adjacency lists do NOT use it — they are patched in
-  /// place on insertion.
+  /// AddObstacle calls skipped because the obstacle was already present —
+  /// the work saved by sharing one workspace across a shard of queries.
+  uint64_t DuplicateObstacleSkips() const { return duplicate_obstacle_skips_; }
+
+  /// Monotone counter bumped by every effective AddObstacle; consumers
+  /// caching data derived from the obstacle set (e.g. visible regions)
+  /// revalidate against it.  Adjacency lists do NOT use it — they are
+  /// patched in place on insertion.
   uint64_t epoch() const { return epoch_; }
 
   geom::Vec2 VertexPos(VertexId v) const { return vertices_[v]; }
 
   const ObstacleSet& obstacles() const { return obstacles_; }
+
+  /// Redirects visibility/obstacle counters (nullptr disables).  A shard-
+  /// shared graph points this at the stats of the query currently running.
+  void set_stats(QueryStats* stats) { stats_ = stats; }
+  QueryStats* stats() const { return stats_; }
 
   /// Visibility test between two arbitrary points against the local
   /// obstacle set (counted into stats).
@@ -78,7 +111,7 @@ class VisGraph {
   /// valid across AddObstacle calls by incremental patching.
   const std::vector<VisEdge>& Neighbors(VertexId v);
 
-  /// Eagerly materializes adjacency for all vertices.
+  /// Eagerly materializes adjacency for all live vertices.
   void MaterializeAllAdjacency();
 
  private:
@@ -106,9 +139,38 @@ class VisGraph {
   std::vector<std::vector<VisEdge>> adj_;
   std::vector<bool> adj_computed_;
   std::vector<CornerInfo> corner_;
+  std::vector<bool> alive_;
+  std::vector<VertexId> free_slots_;  // recycled fixed-vertex slots
   uint64_t epoch_ = 1;
   ObstacleSet obstacles_;
+  std::unordered_set<rtree::ObjectId> obstacle_ids_;
+  uint64_t duplicate_obstacle_skips_ = 0;
   QueryStats* stats_;
+};
+
+/// Scopes one query's fixed vertices on a (possibly shard-shared) graph:
+/// every vertex added through the session is removed when it ends, leaving
+/// only the accumulated obstacle graph behind.
+class QuerySession {
+ public:
+  explicit QuerySession(VisGraph* vg) : vg_(vg) {}
+  ~QuerySession() {
+    if (!added_.empty()) vg_->RemoveFixedVertices(added_);
+  }
+
+  QuerySession(const QuerySession&) = delete;
+  QuerySession& operator=(const QuerySession&) = delete;
+
+  VertexId AddFixedVertex(geom::Vec2 p) {
+    added_.push_back(vg_->AddFixedVertex(p));
+    return added_.back();
+  }
+
+  VisGraph* graph() const { return vg_; }
+
+ private:
+  VisGraph* vg_;
+  std::vector<VertexId> added_;
 };
 
 }  // namespace vis

@@ -1,0 +1,255 @@
+// Batch-vs-single equivalence: BatchRunner must reproduce the per-query
+// engine's answers exactly — tuples, candidate sets, unreachable intervals,
+// and the algorithmic per-query statistics that are invariant under
+// workspace sharing (NPE and Lemma-2 terminations; obstacle/graph/Dijkstra
+// counters legitimately differ because the shared graph accumulates across
+// the shard, and I/O deltas are only meaningful in aggregate).
+//
+// Workloads are randomized per Section 5.1's recipe at test scale: uniform
+// and Zipf point sets over street-rect obstacles, varying k, both tree
+// configurations.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datasets.h"
+#include "datagen/workload.h"
+#include "exec/batch.h"
+#include "rtree/str_bulk_load.h"
+
+namespace conn {
+namespace exec {
+namespace {
+
+struct Workload {
+  datagen::DatasetPair pair;
+  rtree::RStarTree tp;
+  rtree::RStarTree to;
+  rtree::RStarTree unified;
+  std::vector<geom::Segment> queries;
+};
+
+Workload MakeBatchWorkload(uint64_t seed, datagen::PointDistribution dist,
+                           size_t num_points, size_t num_obstacles,
+                           size_t num_queries) {
+  Workload w;
+  w.pair = datagen::MakeDatasetPair(dist, num_points, num_obstacles, seed);
+  w.tp = rtree::StrBulkLoad(datagen::ToPointObjects(w.pair.points)).value();
+  w.to =
+      rtree::StrBulkLoad(datagen::ToObstacleObjects(w.pair.obstacles)).value();
+  std::vector<rtree::DataObject> all =
+      datagen::ToPointObjects(w.pair.points);
+  for (const rtree::DataObject& o :
+       datagen::ToObstacleObjects(w.pair.obstacles)) {
+    all.push_back(o);
+  }
+  w.unified = rtree::StrBulkLoad(std::move(all)).value();
+
+  datagen::WorkloadOptions wopts;
+  wopts.query_length = 450.0;
+  w.queries = datagen::MakeWorkload(num_queries, datagen::Workspace(), wopts,
+                                    {}, seed ^ 0xBA7C4);
+  return w;
+}
+
+void ExpectIntervalSetsEqual(const geom::IntervalSet& got,
+                             const geom::IntervalSet& want) {
+  ASSERT_EQ(got.intervals().size(), want.intervals().size());
+  for (size_t i = 0; i < got.intervals().size(); ++i) {
+    EXPECT_EQ(got.intervals()[i].lo, want.intervals()[i].lo);
+    EXPECT_EQ(got.intervals()[i].hi, want.intervals()[i].hi);
+  }
+}
+
+void ExpectCoknnEqual(const core::CoknnResult& got,
+                      const core::CoknnResult& want, size_t qi) {
+  SCOPED_TRACE("query " + std::to_string(qi));
+  ExpectIntervalSetsEqual(got.unreachable, want.unreachable);
+  ASSERT_EQ(got.tuples.size(), want.tuples.size());
+  for (size_t i = 0; i < got.tuples.size(); ++i) {
+    const core::CoknnTuple& g = got.tuples[i];
+    const core::CoknnTuple& x = want.tuples[i];
+    EXPECT_EQ(g.range.lo, x.range.lo) << "tuple " << i;
+    EXPECT_EQ(g.range.hi, x.range.hi) << "tuple " << i;
+    ASSERT_EQ(g.candidates.size(), x.candidates.size()) << "tuple " << i;
+    for (size_t c = 0; c < g.candidates.size(); ++c) {
+      EXPECT_EQ(g.candidates[c].pid, x.candidates[c].pid)
+          << "tuple " << i << " cand " << c;
+      EXPECT_EQ(g.candidates[c].cp, x.candidates[c].cp)
+          << "tuple " << i << " cand " << c;
+      EXPECT_EQ(g.candidates[c].offset, x.candidates[c].offset)
+          << "tuple " << i << " cand " << c;
+    }
+  }
+  EXPECT_EQ(got.stats.points_evaluated, want.stats.points_evaluated);
+  EXPECT_EQ(got.stats.lemma2_terminations, want.stats.lemma2_terminations);
+}
+
+void ExpectConnEqual(const core::ConnResult& got, const core::ConnResult& want,
+                     size_t qi) {
+  SCOPED_TRACE("query " + std::to_string(qi));
+  ExpectIntervalSetsEqual(got.unreachable, want.unreachable);
+  ASSERT_EQ(got.tuples.size(), want.tuples.size());
+  for (size_t i = 0; i < got.tuples.size(); ++i) {
+    EXPECT_EQ(got.tuples[i].point_id, want.tuples[i].point_id) << "tuple " << i;
+    EXPECT_EQ(got.tuples[i].control_point, want.tuples[i].control_point)
+        << "tuple " << i;
+    EXPECT_EQ(got.tuples[i].offset, want.tuples[i].offset) << "tuple " << i;
+    EXPECT_EQ(got.tuples[i].range.lo, want.tuples[i].range.lo) << "tuple " << i;
+    EXPECT_EQ(got.tuples[i].range.hi, want.tuples[i].range.hi) << "tuple " << i;
+  }
+  EXPECT_EQ(got.stats.points_evaluated, want.stats.points_evaluated);
+  EXPECT_EQ(got.stats.lemma2_terminations, want.stats.lemma2_terminations);
+}
+
+struct Config {
+  uint64_t seed;
+  datagen::PointDistribution dist;
+  size_t k;
+  bool one_tree;
+};
+
+class BatchEquivalence : public ::testing::TestWithParam<Config> {};
+
+TEST_P(BatchEquivalence, CoknnMatchesSingleQueryEngine) {
+  const Config cfg = GetParam();
+  const Workload w =
+      MakeBatchWorkload(cfg.seed, cfg.dist, 140, 70, /*num_queries=*/10);
+
+  std::vector<BatchQuery> batch;
+  for (const geom::Segment& q : w.queries) {
+    batch.push_back(BatchQuery::Coknn(q, cfg.k));
+  }
+
+  BatchOptions opts;
+  opts.num_threads = 2;
+  opts.target_shard_size = 3;
+  opts.share_locality_factor = 0.0;  // force sharing: exactness is the point
+  const BatchRunner runner =
+      cfg.one_tree ? BatchRunner(w.unified, opts)
+                   : BatchRunner(w.tp, w.to, opts);
+  const BatchResult result = runner.Run(batch);
+
+  ASSERT_EQ(result.outcomes.size(), w.queries.size());
+  EXPECT_GT(result.stats.shard_count, 1u);
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    const core::CoknnResult want =
+        cfg.one_tree ? core::CoknnQuery1T(w.unified, w.queries[i], cfg.k)
+                     : core::CoknnQuery(w.tp, w.to, w.queries[i], cfg.k);
+    ASSERT_TRUE(result.outcomes[i].coknn.has_value());
+    ExpectCoknnEqual(*result.outcomes[i].coknn, want, i);
+  }
+}
+
+TEST_P(BatchEquivalence, ConnMatchesSingleQueryEngine) {
+  const Config cfg = GetParam();
+  const Workload w = MakeBatchWorkload(cfg.seed ^ 0xC0FFEE, cfg.dist, 120, 60,
+                                       /*num_queries=*/8);
+
+  std::vector<BatchQuery> batch;
+  for (const geom::Segment& q : w.queries) batch.push_back(BatchQuery::Conn(q));
+
+  BatchOptions opts;
+  opts.num_threads = 2;
+  opts.target_shard_size = 3;
+  opts.share_locality_factor = 0.0;  // force sharing: exactness is the point
+  const BatchRunner runner =
+      cfg.one_tree ? BatchRunner(w.unified, opts)
+                   : BatchRunner(w.tp, w.to, opts);
+  const BatchResult result = runner.Run(batch);
+
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    const core::ConnResult want =
+        cfg.one_tree ? core::ConnQuery1T(w.unified, w.queries[i])
+                     : core::ConnQuery(w.tp, w.to, w.queries[i]);
+    ASSERT_TRUE(result.outcomes[i].conn.has_value());
+    ExpectConnEqual(*result.outcomes[i].conn, want, i);
+  }
+}
+
+TEST_P(BatchEquivalence, SharedAndUnsharedWorkspacesAgree) {
+  const Config cfg = GetParam();
+  const Workload w =
+      MakeBatchWorkload(cfg.seed ^ 0x5EED, cfg.dist, 100, 50, 6);
+
+  std::vector<BatchQuery> batch;
+  for (const geom::Segment& q : w.queries) {
+    batch.push_back(BatchQuery::Coknn(q, cfg.k));
+  }
+
+  BatchOptions shared;
+  shared.num_threads = 1;
+  shared.target_shard_size = 3;
+  shared.share_locality_factor = 0.0;
+  BatchOptions unshared = shared;
+  unshared.share_workspace = false;
+
+  const BatchRunner a = cfg.one_tree ? BatchRunner(w.unified, shared)
+                                     : BatchRunner(w.tp, w.to, shared);
+  const BatchRunner b = cfg.one_tree ? BatchRunner(w.unified, unshared)
+                                     : BatchRunner(w.tp, w.to, unshared);
+  const BatchResult ra = a.Run(batch);
+  const BatchResult rb = b.Run(batch);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ExpectCoknnEqual(*ra.outcomes[i].coknn, *rb.outcomes[i].coknn, i);
+  }
+  // Only the shared configuration reuses obstacles.
+  EXPECT_EQ(rb.stats.obstacle_reuse_hits, 0u);
+}
+
+TEST(BatchLocalityGuard, ClusteredPointQueriesStillShare) {
+  // Zero-length CONN queries (DegenerateConn point lookups) have no MBR
+  // extent of their own; the guard's obstacle-spacing floor must keep a
+  // tight cluster of them on the sharing path under *default* options.
+  // Hand-built scene: the lone data point sits behind a wall, so every
+  // query's IOR must retrieve that wall — the first inserts it, the rest
+  // hit the shared workspace.
+  const rtree::RStarTree tp =
+      rtree::StrBulkLoad(
+          {rtree::DataObject::Point({5600.0, 5000.0}, /*id=*/0)})
+          .value();
+  const rtree::RStarTree to =
+      rtree::StrBulkLoad({rtree::DataObject::Obstacle(
+                             geom::Rect({5200, 4800}, {5300, 5200}), /*id=*/0)})
+          .value();
+
+  std::vector<BatchQuery> batch;
+  for (int i = 0; i < 6; ++i) {
+    const geom::Vec2 p{5000.0 + 10.0 * i, 5000.0 + 5.0 * i};
+    batch.push_back(BatchQuery::Conn(geom::Segment(p, p)));
+  }
+
+  const BatchRunner runner(tp, to, BatchOptions{});
+  const BatchResult result = runner.Run(batch);
+  EXPECT_GT(result.stats.obstacle_reuse_hits, 0u)
+      << "the locality guard disabled sharing for a tight point cluster";
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const core::ConnResult want = core::ConnQuery(tp, to, batch[i].segment);
+    ASSERT_TRUE(result.outcomes[i].conn.has_value());
+    ExpectConnEqual(*result.outcomes[i].conn, want, i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, BatchEquivalence,
+    ::testing::Values(
+        Config{11, datagen::PointDistribution::kUniform, 1, false},
+        Config{12, datagen::PointDistribution::kUniform, 3, false},
+        Config{13, datagen::PointDistribution::kUniform, 3, true},
+        Config{14, datagen::PointDistribution::kZipf, 1, false},
+        Config{15, datagen::PointDistribution::kZipf, 5, false},
+        Config{16, datagen::PointDistribution::kZipf, 3, true}),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      const Config& c = info.param;
+      return (c.dist == datagen::PointDistribution::kUniform ? "Uniform"
+                                                             : "Zipf") +
+             std::string("K") + std::to_string(c.k) +
+             (c.one_tree ? "OneTree" : "TwoTrees") + "Seed" +
+             std::to_string(c.seed);
+    });
+
+}  // namespace
+}  // namespace exec
+}  // namespace conn

@@ -128,6 +128,71 @@ TEST_P(CoknnEquivalence, CandidateSetsAreDistinctPids) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CoknnEquivalence,
                          ::testing::Range<uint64_t>(1, 9));
 
+TEST(CoknnTest, CrossingWithinEpsOfIntervalEndDoesNotCreateSliver) {
+  // Candidate 1: curve t (cp at the segment start).  Candidate 2: curve
+  // (100 - t) + (100 - 1e-7), crossing candidate 1 at t = 100 - 5e-8 —
+  // within kEpsParam of the interval end.  The eps-tolerant dedupe of the
+  // split breaks swallows the terminal break at 100; the clamp must pull
+  // the surviving break onto 100 instead of re-appending an eps-sliver.
+  const geom::SegmentFrame frame(geom::Segment({0, 0}, {100, 0}));
+  KnnResultList rl(geom::IntervalSet{geom::Interval(0, 100)}, 1);
+  ControlPointList a = {CplEntry{true, {0, 0}, 0.0, geom::Interval(0, 100)}};
+  ControlPointList b = {
+      CplEntry{true, {100, 0}, 100.0 - 1e-7, geom::Interval(0, 100)}};
+  rl.Update(1, a, frame, nullptr);
+  rl.Update(2, b, frame, nullptr);
+
+  ASSERT_FALSE(rl.tuples().empty());
+  // The tuples tile [0, 100] exactly — the last boundary lands on 100,
+  // not on the eps-shifted crossing — and no eps-sliver survives.
+  EXPECT_EQ(rl.tuples().front().range.lo, 0.0);
+  EXPECT_EQ(rl.tuples().back().range.hi, 100.0);
+  for (size_t i = 0; i + 1 < rl.tuples().size(); ++i) {
+    EXPECT_EQ(rl.tuples()[i].range.hi, rl.tuples()[i + 1].range.lo);
+  }
+  for (const CoknnTuple& tup : rl.tuples()) {
+    EXPECT_GT(tup.range.Length(), geom::kEpsSliver);
+  }
+  // Candidate 1 wins everywhere but the eps-neighborhood of 100.
+  ASSERT_EQ(rl.tuples().size(), 1u);
+  EXPECT_EQ(rl.tuples()[0].candidates[0].pid, 1);
+}
+
+TEST(CoknnTest, FindTupleBinarySearchMatchesLinearSemantics) {
+  CoknnResult r;
+  r.query = geom::Segment({0, 0}, {100, 0});
+  r.k = 1;
+  CoknnTuple first;
+  first.range = geom::Interval(0, 40);
+  first.candidates.push_back(KnnCandidate{1, {20, 0}, 0.0});
+  CoknnTuple second;
+  second.range = geom::Interval(40, 100);
+  second.candidates.push_back(KnnCandidate{2, {70, 0}, 0.0});
+  r.tuples = {first, second};
+
+  EXPECT_EQ(r.FindTuple(10.0), &r.tuples[0]);
+  EXPECT_EQ(r.FindTuple(70.0), &r.tuples[1]);
+  // A shared boundary belongs to the earlier tuple (first-match semantics
+  // of the former linear scan).
+  EXPECT_EQ(r.FindTuple(40.0), &r.tuples[0]);
+  EXPECT_EQ(r.FindTuple(0.0), &r.tuples[0]);
+  EXPECT_EQ(r.FindTuple(100.0), &r.tuples[1]);
+  EXPECT_EQ(r.FindTuple(-5.0), nullptr);
+  EXPECT_EQ(r.FindTuple(105.0), nullptr);
+
+  EXPECT_EQ(r.KnnAt(10.0), std::vector<int64_t>{1});
+  EXPECT_EQ(r.KnnAt(70.0), std::vector<int64_t>{2});
+  EXPECT_TRUE(r.KnnAt(-5.0).empty());
+
+  // Frame-hoisted overloads agree with the convenience versions.
+  const geom::SegmentFrame frame(r.query);
+  for (double t : {0.0, 10.0, 40.0, 70.0, 100.0}) {
+    EXPECT_EQ(r.KnnAt(t), r.KnnAt(t, frame)) << "t=" << t;
+    EXPECT_EQ(r.OdistAt(t, 0), r.OdistAt(t, 0, frame)) << "t=" << t;
+  }
+  EXPECT_TRUE(std::isinf(r.OdistAt(10.0, 5)));  // rank beyond candidate set
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace conn

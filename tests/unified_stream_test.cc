@@ -23,7 +23,8 @@ TEST(UnifiedStreamTest, RoutesObstaclesIntoGraphAndPointsInOrder) {
   rtree::DataObject obj;
   double dist, prev = -1.0;
   size_t points = 0;
-  while (stream.NextPointWithin(1e18, &obj, &dist)) {
+  while (stream.NextPointWithin(1e18, &obj, &dist) ==
+         core::StreamOutcome::kYielded) {
     EXPECT_EQ(obj.kind, rtree::ObjectKind::kPoint);
     EXPECT_GE(dist, prev);
     prev = dist;
@@ -56,7 +57,8 @@ TEST(UnifiedStreamTest, ObstacleDrainBuffersPointsWithoutLosingOrder) {
   rtree::DataObject obj;
   double dist, prev = -1.0;
   size_t points = 0;
-  while (stream.NextPointWithin(1e18, &obj, &dist)) {
+  while (stream.NextPointWithin(1e18, &obj, &dist) ==
+         core::StreamOutcome::kYielded) {
     EXPECT_GE(dist, prev);
     prev = dist;
     ++points;
@@ -73,12 +75,14 @@ TEST(UnifiedStreamTest, BoundIsRespected) {
 
   rtree::DataObject obj;
   double dist;
-  while (stream.NextPointWithin(150.0, &obj, &dist)) {
+  while (stream.NextPointWithin(150.0, &obj, &dist) ==
+         core::StreamOutcome::kYielded) {
     EXPECT_LE(dist, 150.0);
   }
   // A later call with a larger bound resumes where the stream stopped.
   size_t more = 0;
-  while (stream.NextPointWithin(400.0, &obj, &dist)) {
+  while (stream.NextPointWithin(400.0, &obj, &dist) ==
+         core::StreamOutcome::kYielded) {
     EXPECT_GT(dist, 150.0 - 1e-9);
     EXPECT_LE(dist, 400.0);
     ++more;

@@ -1,0 +1,132 @@
+// Tests for the VisGraph query-session refactor that enables shard-shared
+// obstacle workspaces: fixed vertices added after obstacles, scoped
+// removal via QuerySession, slot recycling, and AddObstacle deduplication.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "vis/dijkstra.h"
+#include "vis/vis_graph.h"
+
+namespace conn {
+namespace vis {
+namespace {
+
+const geom::Rect kDomain({-100, -100}, {1100, 1100});
+
+/// Obstructed distance from \p src to \p dst on \p vg, with \p dst already
+/// a graph vertex.
+double DistTo(VisGraph* vg, geom::Vec2 src, VertexId dst) {
+  DijkstraScan scan(vg, src);
+  return scan.SettleTargets({dst});
+}
+
+TEST(VisSessionTest, FixedVertexAfterObstaclesMatchesFixedFirstGraph) {
+  const geom::Rect wall({400, 0}, {420, 700});
+  const geom::Vec2 src{100, 100};
+  const geom::Vec2 dst{800, 100};
+
+  // Reference: the single-query order (fixed vertex first, then obstacles).
+  VisGraph ref(kDomain);
+  const VertexId t_ref = ref.AddFixedVertex(dst);
+  ref.AddObstacle(wall, 1);
+  const double want = DistTo(&ref, src, t_ref);
+  EXPECT_TRUE(std::isfinite(want));
+  EXPECT_GT(want, geom::Dist(src, dst));  // the wall forces a detour
+
+  // Shared-workspace order: obstacles first, target patched in afterwards.
+  VisGraph shared(kDomain);
+  shared.AddObstacle(wall, 1);
+  const VertexId t_shared = shared.AddFixedVertex(dst);
+  EXPECT_DOUBLE_EQ(DistTo(&shared, src, t_shared), want);
+}
+
+TEST(VisSessionTest, SessionRemovalLeavesObstacleGraphIntact) {
+  const geom::Rect wall_a({300, 200}, {320, 900});
+  const geom::Rect wall_b({600, -50}, {620, 500});
+  const geom::Vec2 src{50, 400};
+  const geom::Vec2 dst{900, 400};
+
+  VisGraph shared(kDomain);
+  shared.AddObstacle(wall_a, 7);
+
+  // Query 1: adds its targets, retrieves one more obstacle, then ends.
+  {
+    QuerySession s1(&shared);
+    const VertexId t1 = s1.AddFixedVertex({500, 800});
+    shared.AddObstacle(wall_b, 8);
+    EXPECT_TRUE(std::isfinite(DistTo(&shared, src, t1)));
+  }
+  const size_t slots_after_s1 = shared.VertexCount();
+
+  // Query 2 on the accumulated graph must equal a fresh graph holding the
+  // same obstacles.
+  VisGraph fresh(kDomain);
+  const VertexId t_fresh = fresh.AddFixedVertex(dst);
+  fresh.AddObstacle(wall_a, 7);
+  fresh.AddObstacle(wall_b, 8);
+  const double want = DistTo(&fresh, src, t_fresh);
+
+  {
+    QuerySession s2(&shared);
+    const VertexId t2 = s2.AddFixedVertex(dst);
+    EXPECT_DOUBLE_EQ(DistTo(&shared, src, t2), want);
+  }
+
+  // Session 2 reused the slot session 1 freed: no slot growth.
+  EXPECT_EQ(shared.VertexCount(), slots_after_s1);
+}
+
+TEST(VisSessionTest, ManySessionsDoNotGrowTheGraph) {
+  VisGraph shared(kDomain);
+  shared.AddObstacle(geom::Rect({400, 400}, {500, 500}), 1);
+  size_t baseline = 0;
+  for (int i = 0; i < 20; ++i) {
+    QuerySession s(&shared);
+    s.AddFixedVertex({10.0 + i, 20.0});
+    s.AddFixedVertex({900.0 - i, 880.0});
+    if (i == 0) baseline = shared.VertexCount();
+    EXPECT_EQ(shared.VertexCount(), baseline);
+  }
+}
+
+TEST(VisSessionTest, RemovedVertexDisappearsFromNeighborLists) {
+  VisGraph g(kDomain);
+  const VertexId keep = g.AddFixedVertex({100, 100});
+  g.AddObstacle(geom::Rect({400, 400}, {500, 500}), 1);
+  VertexId gone;
+  {
+    QuerySession s(&g);
+    gone = s.AddFixedVertex({200, 200});
+    bool found = false;
+    for (const VisEdge& e : g.Neighbors(keep)) found |= (e.to == gone);
+    EXPECT_TRUE(found) << "live session vertex missing from cached list";
+  }
+  EXPECT_FALSE(g.IsAlive(gone));
+  for (const VisEdge& e : g.Neighbors(keep)) {
+    EXPECT_TRUE(g.IsAlive(e.to)) << "edge to a removed vertex survived";
+  }
+}
+
+TEST(VisSessionTest, AddObstacleDeduplicatesById) {
+  VisGraph g(kDomain);
+  EXPECT_TRUE(g.AddObstacle(geom::Rect({100, 100}, {200, 200}), 42));
+  const size_t vertices = g.VertexCount();
+  const uint64_t epoch = g.epoch();
+
+  EXPECT_FALSE(g.AddObstacle(geom::Rect({100, 100}, {200, 200}), 42));
+  EXPECT_EQ(g.ObstacleCount(), 1u);
+  EXPECT_EQ(g.VertexCount(), vertices);
+  EXPECT_EQ(g.epoch(), epoch) << "a skipped duplicate must not invalidate "
+                                 "visible-region caches";
+  EXPECT_EQ(g.DuplicateObstacleSkips(), 1u);
+
+  EXPECT_TRUE(g.AddObstacle(geom::Rect({300, 300}, {400, 400}), 43));
+  EXPECT_EQ(g.ObstacleCount(), 2u);
+}
+
+}  // namespace
+}  // namespace vis
+}  // namespace conn
