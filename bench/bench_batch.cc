@@ -84,6 +84,10 @@ void ReportBatch(benchmark::State& state, const exec::BatchStats& stats,
   state.counters["shards"] = static_cast<double>(stats.shard_count);
   state.counters["vis_tests"] =
       static_cast<double>(stats.per_query_totals.visibility_tests);
+  state.counters["seed_tests"] =
+      static_cast<double>(stats.per_query_totals.seed_tests);
+  state.counters["warm_restarts"] =
+      static_cast<double>(stats.per_query_totals.scan_warm_restarts);
   state.counters["settled"] =
       static_cast<double>(stats.per_query_totals.dijkstra_settled);
   state.counters["NOE"] =
@@ -133,6 +137,9 @@ void RunSequentialBench(benchmark::State& state,
       static_cast<double>(batch.size()) * state.iterations() /
       timer.ElapsedSeconds());
   state.counters["vis_tests"] = static_cast<double>(totals.visibility_tests);
+  state.counters["seed_tests"] = static_cast<double>(totals.seed_tests);
+  state.counters["warm_restarts"] =
+      static_cast<double>(totals.scan_warm_restarts);
   state.counters["settled"] = static_cast<double>(totals.dijkstra_settled);
   state.counters["NOE"] = static_cast<double>(totals.obstacles_evaluated);
 }

@@ -120,6 +120,11 @@ void ReportStats(benchmark::State& state, const QueryStats& avg,
   state.counters["NOE"] = static_cast<double>(avg.obstacles_evaluated);
   state.counters["SVG"] = static_cast<double>(avg.vis_graph_vertices);
   state.counters["FULL"] = static_cast<double>(4 * num_obstacles);
+  state.counters["vis_tests"] = static_cast<double>(avg.visibility_tests);
+  state.counters["seed_tests"] = static_cast<double>(avg.seed_tests);
+  state.counters["settled"] = static_cast<double>(avg.dijkstra_settled);
+  state.counters["warm_restarts"] =
+      static_cast<double>(avg.scan_warm_restarts);
 }
 
 }  // namespace bench

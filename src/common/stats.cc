@@ -16,6 +16,9 @@ QueryStats& QueryStats::operator+=(const QueryStats& other) {
   dijkstra_runs += other.dijkstra_runs;
   dijkstra_settled += other.dijkstra_settled;
   visibility_tests += other.visibility_tests;
+  seed_tests += other.seed_tests;
+  scan_warm_restarts += other.scan_warm_restarts;
+  vr_cache_evictions += other.vr_cache_evictions;
   split_evaluations += other.split_evaluations;
   lemma1_prunes += other.lemma1_prunes;
   lemma7_terminations += other.lemma7_terminations;
@@ -36,6 +39,9 @@ QueryStats QueryStats::AveragedOver(uint64_t queries) const {
   avg.dijkstra_runs = dijkstra_runs / queries;
   avg.dijkstra_settled = dijkstra_settled / queries;
   avg.visibility_tests = visibility_tests / queries;
+  avg.seed_tests = seed_tests / queries;
+  avg.scan_warm_restarts = scan_warm_restarts / queries;
+  avg.vr_cache_evictions = vr_cache_evictions / queries;
   avg.split_evaluations = split_evaluations / queries;
   avg.lemma1_prunes = lemma1_prunes / queries;
   avg.lemma7_terminations = lemma7_terminations / queries;

@@ -31,6 +31,9 @@ struct QueryStats {
   uint64_t dijkstra_runs = 0;        ///< shortest-path invocations
   uint64_t dijkstra_settled = 0;     ///< total vertices settled across runs
   uint64_t visibility_tests = 0;     ///< segment-vs-obstacle interior tests
+  uint64_t seed_tests = 0;           ///< source->vertex seed sight-line tests
+  uint64_t scan_warm_restarts = 0;   ///< IOR waves absorbed by Revalidate()
+  uint64_t vr_cache_evictions = 0;   ///< visible regions dropped on epoch bump
   uint64_t split_evaluations = 0;    ///< distance-curve crossing computations
   uint64_t lemma1_prunes = 0;        ///< RLU endpoint-dominance fast paths
   uint64_t lemma7_terminations = 0;  ///< CPLC early exits via CPLMAX

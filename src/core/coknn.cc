@@ -254,7 +254,7 @@ namespace {
 template <typename NextPointFn>
 CoknnResult RunCoknn(const geom::Segment& q, size_t k,
                      const geom::IntervalSet& blocked, vis::VisGraph* vg,
-                     ObstacleSource* obstacle_source,
+                     vis::ScanArena* arena, ObstacleSource* obstacle_source,
                      NextPointFn&& next_point, const ConnOptions& opts,
                      QueryStats* stats) {
   CoknnResult result;
@@ -288,11 +288,13 @@ CoknnResult RunCoknn(const geom::Segment& q, size_t k,
     const geom::Vec2 p = obj.AsPoint();
     std::unique_ptr<vis::DijkstraScan> scan;
     IncrementalObstacleRetrieval(obstacle_source, vg, targets, p, &retrieved,
-                                 stats, &scan);
+                                 stats, &scan, arena,
+                                 opts.use_warm_scan_restarts);
     const ControlPointList cpl = ComputeControlPointList(
         vg, scan.get(), p, frame, reachable, opts, stats, &vr_cache);
     rl.Update(static_cast<int64_t>(obj.id), cpl, frame, stats);
   }
+  stats->vr_cache_evictions += vr_cache.evictions();
   result.tuples = rl.tuples();
   return result;
 }
@@ -329,8 +331,8 @@ CoknnResult CoknnQuery(const rtree::RStarTree& data_tree,
     return StreamOutcome::kYielded;
   };
 
-  CoknnResult result = RunCoknn(q, k, blocked, vg, &obstacle_source,
-                                next_point, opts, &stats);
+  CoknnResult result = RunCoknn(q, k, blocked, vg, graph.arena(),
+                                &obstacle_source, next_point, opts, &stats);
 
   stats.vis_graph_vertices = vg->VertexCount();
   stats.data_page_reads = data_io.faults();
@@ -358,8 +360,8 @@ CoknnResult CoknnQuery1T(const rtree::RStarTree& unified_tree,
     return stream.NextPointWithin(bound, out, dist);
   };
 
-  CoknnResult result =
-      RunCoknn(q, k, blocked, vg, &stream, next_point, opts, &stats);
+  CoknnResult result = RunCoknn(q, k, blocked, vg, graph.arena(), &stream,
+                                next_point, opts, &stats);
 
   stats.vis_graph_vertices = vg->VertexCount();
   stats.data_page_reads = io.faults();

@@ -35,9 +35,9 @@ void ExportTuples(const ResultList& rl, ConnResult* result) {
 /// the same IOR machinery (no interval computation involved).
 ConnResult DegenerateConn(const rtree::RStarTree& data_tree,
                           ObstacleSource* obstacle_source,
-                          vis::VisGraph* vg, const geom::Segment& q,
-                          const ConnOptions& opts, QueryStats* stats) {
-  (void)opts;
+                          vis::VisGraph* vg, vis::ScanArena* arena,
+                          const geom::Segment& q, const ConnOptions& opts,
+                          QueryStats* stats) {
   ConnResult result;
   result.query = q;
 
@@ -56,7 +56,8 @@ ConnResult DegenerateConn(const rtree::RStarTree& data_tree,
     if (obj.kind != rtree::ObjectKind::kPoint) continue;
     ++stats->points_evaluated;
     const double od = IncrementalObstacleRetrieval(
-        obstacle_source, vg, {target}, obj.AsPoint(), &retrieved, stats);
+        obstacle_source, vg, {target}, obj.AsPoint(), &retrieved, stats,
+        /*out_scan=*/nullptr, arena, opts.use_warm_scan_restarts);
     if (od < best) {
       best = od;
       best_pid = obj.id;
@@ -138,7 +139,8 @@ ConnResult ConnQuery(const rtree::RStarTree& data_tree,
 
   ConnResult result;
   if (q.Length() <= 0.0) {
-    result = DegenerateConn(data_tree, &obstacle_source, vg, q, opts, &stats);
+    result = DegenerateConn(data_tree, &obstacle_source, vg, graph.arena(), q,
+                            opts, &stats);
   } else {
     result.query = q;
     const geom::SegmentFrame frame(q);
@@ -171,11 +173,13 @@ ConnResult ConnQuery(const rtree::RStarTree& data_tree,
       const geom::Vec2 p = obj.AsPoint();
       std::unique_ptr<vis::DijkstraScan> scan;
       IncrementalObstacleRetrieval(&obstacle_source, vg, targets, p,
-                                   &retrieved, &stats, &scan);
+                                   &retrieved, &stats, &scan, graph.arena(),
+                                   opts.use_warm_scan_restarts);
       const ControlPointList cpl = ComputeControlPointList(
           vg, scan.get(), p, frame, reachable, opts, &stats, &vr_cache);
       rl.Update(static_cast<int64_t>(obj.id), cpl, frame, opts, &stats);
     }
+    stats.vr_cache_evictions += vr_cache.evictions();
     ExportTuples(rl, &result);
   }
 
@@ -204,7 +208,8 @@ ConnResult ConnQuery1T(const rtree::RStarTree& unified_tree,
   if (q.Length() <= 0.0) {
     // For the degenerate case the unified stream acts as the obstacle
     // source; points it buffers are re-found by the dedicated iterator.
-    result = DegenerateConn(unified_tree, &stream, vg, q, opts, &stats);
+    result = DegenerateConn(unified_tree, &stream, vg, graph.arena(), q, opts,
+                            &stats);
   } else {
     result.query = q;
     const geom::SegmentFrame frame(q);
@@ -239,11 +244,13 @@ ConnResult ConnQuery1T(const rtree::RStarTree& unified_tree,
       const geom::Vec2 p = obj.AsPoint();
       std::unique_ptr<vis::DijkstraScan> scan;
       IncrementalObstacleRetrieval(&stream, vg, targets, p, &retrieved,
-                                   &stats, &scan);
+                                   &stats, &scan, graph.arena(),
+                                   opts.use_warm_scan_restarts);
       const ControlPointList cpl = ComputeControlPointList(
           vg, scan.get(), p, frame, reachable, opts, &stats, &vr_cache);
       rl.Update(static_cast<int64_t>(obj.id), cpl, frame, opts, &stats);
     }
+    stats.vr_cache_evictions += vr_cache.evictions();
     ExportTuples(rl, &result);
   }
 

@@ -52,15 +52,18 @@ void MergeAdjacent(ControlPointList* cpl) {
 }
 
 /// Merges candidate (cp, offset) into the list over `regions`, competing
-/// with incumbents by exact curve comparison.
-void AssignCandidate(ControlPointList* cpl, geom::Vec2 cp, double offset,
+/// with incumbents by exact curve comparison.  Returns whether any entry
+/// was contested (false => the list is untouched, and any cached CPLMAX
+/// stays valid).
+bool AssignCandidate(ControlPointList* cpl, geom::Vec2 cp, double offset,
                      const geom::IntervalSet& regions,
                      const geom::SegmentFrame& frame, const ConnOptions& opts,
                      QueryStats* stats) {
-  if (regions.IsEmpty()) return;
+  if (regions.IsEmpty()) return false;
   const geom::DistanceCurve challenger =
       geom::DistanceCurve::FromControlPoint(frame, cp, offset);
 
+  bool any_contested = false;
   ControlPointList next;
   next.reserve(cpl->size() + 2);
   for (const CplEntry& entry : *cpl) {
@@ -69,6 +72,7 @@ void AssignCandidate(ControlPointList* cpl, geom::Vec2 cp, double offset,
       next.push_back(entry);
       continue;
     }
+    any_contested = true;
     // Walk the entry's range, alternating kept and contested pieces.
     double cursor = entry.range.lo;
     auto push_kept = [&](double lo, double hi) {
@@ -117,8 +121,10 @@ void AssignCandidate(ControlPointList* cpl, geom::Vec2 cp, double offset,
     }
     push_kept(cursor, entry.range.hi);
   }
+  if (!any_contested) return false;
   *cpl = std::move(next);
   MergeAdjacent(cpl);
+  return true;
 }
 
 }  // namespace
@@ -157,7 +163,26 @@ const geom::IntervalSet& VisibleRegionCache::Get(vis::VisGraph* vg,
                                                  const geom::SegmentFrame& frame,
                                                  uint64_t* test_counter) {
   if (epoch_ != vg->epoch()) {
-    cache_.clear();
+    // Selective invalidation: VR(v) is built from sight-lines between v and
+    // points of q, all inside the triangle (v, q.a, q.b).  Only entries
+    // whose triangle bounding box meets a new obstacle rectangle can have
+    // changed; the rest stay cached across the wave.
+    const vis::ObstacleSet& obs = vg->obstacles();
+    const geom::Segment q = frame.segment();
+    const geom::Rect qbox = geom::Rect::FromCorners(q.a, q.b);
+    for (size_t u = 0; u < cache_.size(); ++u) {
+      if (!cache_[u].has_value()) continue;
+      const geom::Rect hull = qbox.ExpandedToCover(
+          vg->VertexPos(static_cast<vis::VertexId>(u)));
+      for (size_t oi = obstacle_watermark_; oi < obs.size(); ++oi) {
+        if (hull.Intersects(obs.rect(oi))) {
+          cache_[u].reset();
+          ++evictions_;
+          break;
+        }
+      }
+    }
+    obstacle_watermark_ = obs.size();
     epoch_ = vg->epoch();
   }
   if (cache_.size() < vg->VertexCount()) cache_.resize(vg->VertexCount());
@@ -191,10 +216,14 @@ ControlPointList ComputeControlPointList(vis::VisGraph* vg,
       vis::VisibleRegion(vg->obstacles(), p, frame, vis_counter);
   AssignCandidate(&cpl, p, 0.0, vr_p, frame, opts, stats);
 
+  // CPLMAX (Lemma 7) changes only when AssignCandidate actually contests
+  // an entry; cache it across the (mostly pruned) settled vertices instead
+  // of rescanning the whole list per vertex.
+  double cplmax = CplMax(cpl, frame);
+
   const size_t settled_before = scan->SettledCount();
   for (size_t i = 0; scan->EnsureSettled(i); ++i) {
     const auto [v, dist_v, pred] = scan->log()[i];
-    const double cplmax = CplMax(cpl, frame);
     if (opts.use_lemma7_terminate && dist_v >= cplmax) {
       // Lemma 7 with the relaxed zero lower bound on mindist(v, q): the
       // scan is ordered by ||p, v||, so every remaining vertex is out too.
@@ -241,7 +270,10 @@ ControlPointList ComputeControlPointList(vis::VisGraph* vg,
       if (candidate_region.IsEmpty()) continue;
     }
 
-    AssignCandidate(&cpl, vpos, dist_v, candidate_region, frame, opts, stats);
+    if (AssignCandidate(&cpl, vpos, dist_v, candidate_region, frame, opts,
+                        stats)) {
+      cplmax = CplMax(cpl, frame);
+    }
   }
   if (stats != nullptr) {
     stats->dijkstra_settled += scan->SettledCount() - settled_before;

@@ -54,6 +54,11 @@ using ControlPointList = std::vector<CplEntry>;
 /// depends only on the vertex and the obstacle set, not on the data point
 /// being evaluated, so one cache serves every CPLC run of a query; it
 /// self-invalidates when the graph's obstacle epoch advances.
+///
+/// Invalidation is selective: every sight-line contributing to VR(v) lies
+/// inside the triangle (v, q.a, q.b), so an epoch bump only evicts entries
+/// whose triangle's bounding box a newly added obstacle rectangle can
+/// intersect — spatially distant entries survive the wave.
 class VisibleRegionCache {
  public:
   /// The (cached) visible region of vertex \p v over the frame's segment.
@@ -61,9 +66,14 @@ class VisibleRegionCache {
                                const geom::SegmentFrame& frame,
                                uint64_t* test_counter);
 
+  /// Entries dropped by selective invalidation so far (-> stats).
+  uint64_t evictions() const { return evictions_; }
+
  private:
   std::vector<std::optional<geom::IntervalSet>> cache_;
   uint64_t epoch_ = 0;
+  size_t obstacle_watermark_ = 0;  ///< obstacles already reconciled
+  uint64_t evictions_ = 0;
 };
 
 /// Computes CPL(p, q) on the (IOR-completed) local visibility graph,

@@ -121,7 +121,9 @@ class GraphStatsScope {
 /// when one is supplied (batch execution), otherwise a query-local graph
 /// built over the trees + q.  Either way the graph's stats sink points at
 /// \p stats for this scope.  Every public query entry point opens with one
-/// of these so the resolution logic cannot drift between engines.
+/// of these so the resolution logic cannot drift between engines.  The
+/// scan arena resolves the same way: the workspace's pooled arena when
+/// shared, a query-local one otherwise.
 class ScopedQueryGraph {
  public:
   ScopedQueryGraph(QueryWorkspace* workspace, const rtree::RStarTree* a,
@@ -131,7 +133,11 @@ class ScopedQueryGraph {
                  ? std::optional<vis::VisGraph>(
                        std::in_place, WorkspaceBounds(a, b, q), stats)
                  : std::nullopt),
+        own_arena_(workspace == nullptr
+                       ? std::optional<vis::ScanArena>(std::in_place)
+                       : std::nullopt),
         vg_(workspace != nullptr ? workspace->graph() : &*own_),
+        arena_(workspace != nullptr ? workspace->scan_arena() : &*own_arena_),
         stats_scope_(vg_, stats) {}
 
   ScopedQueryGraph(const ScopedQueryGraph&) = delete;
@@ -139,9 +145,14 @@ class ScopedQueryGraph {
 
   vis::VisGraph* get() { return vg_; }
 
+  /// Pooled scan state for every DijkstraScan of this query.
+  vis::ScanArena* arena() { return arena_; }
+
  private:
   std::optional<vis::VisGraph> own_;
+  std::optional<vis::ScanArena> own_arena_;
   vis::VisGraph* vg_;
+  vis::ScanArena* arena_;
   GraphStatsScope stats_scope_;
 };
 

@@ -24,6 +24,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// obstacle set grows across all right partners of a (IOR reuse).
 struct LeftContext {
   std::unique_ptr<vis::VisGraph> vg;
+  std::unique_ptr<vis::ScanArena> arena;
   std::unique_ptr<TreeObstacleSource> source;
   vis::VertexId target = 0;
   double retrieved = 0.0;
@@ -43,7 +44,8 @@ class PairOdistEvaluator {
     LeftContext& ctx = ContextFor(a);
     return IncrementalObstacleRetrieval(ctx.source.get(), ctx.vg.get(),
                                         {ctx.target}, b.AsPoint(),
-                                        &ctx.retrieved, stats_);
+                                        &ctx.retrieved, stats_,
+                                        /*out_scan=*/nullptr, ctx.arena.get());
   }
 
  private:
@@ -57,6 +59,7 @@ class PairOdistEvaluator {
         internal::WorkspaceBounds(&tree_a_, &obstacle_tree_, q)
             .ExpandedToCover(tree_b_.Bounds()),
         stats_);
+    ctx.arena = std::make_unique<vis::ScanArena>();
     ctx.target = ctx.vg->AddFixedVertex(pos);
     ctx.source = std::make_unique<TreeObstacleSource>(obstacle_tree_, q);
     return contexts_.emplace(static_cast<int64_t>(a.id), std::move(ctx))

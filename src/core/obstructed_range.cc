@@ -16,7 +16,6 @@ ObstructedRangeResult ObstructedRangeQuery(const rtree::RStarTree& data_tree,
                                            geom::Vec2 query_point,
                                            double radius,
                                            const ConnOptions& opts) {
-  (void)opts;
   CONN_CHECK_MSG(radius >= 0.0, "range radius must be non-negative");
   Timer timer;
   QueryStats stats;
@@ -31,6 +30,7 @@ ObstructedRangeResult ObstructedRangeQuery(const rtree::RStarTree& data_tree,
   const geom::Rect domain =
       internal::WorkspaceBounds(&data_tree, &obstacle_tree, q);
   vis::VisGraph vg(domain, &stats);
+  vis::ScanArena arena;
   const vis::VertexId target = vg.AddFixedVertex(query_point);
   TreeObstacleSource obstacle_source(obstacle_tree, q);
 
@@ -46,7 +46,8 @@ ObstructedRangeResult ObstructedRangeQuery(const rtree::RStarTree& data_tree,
                    "data tree contains a non-point entry");
     ++stats.points_evaluated;
     const double od = IncrementalObstacleRetrieval(
-        &obstacle_source, &vg, {target}, obj.AsPoint(), &retrieved, &stats);
+        &obstacle_source, &vg, {target}, obj.AsPoint(), &retrieved, &stats,
+        /*out_scan=*/nullptr, &arena, opts.use_warm_scan_restarts);
     if (od <= radius) {
       result.members.push_back({static_cast<int64_t>(obj.id), od});
     }

@@ -87,23 +87,29 @@ double IncrementalObstacleRetrieval(
     ObstacleSource* source, vis::VisGraph* vg,
     const std::vector<vis::VertexId>& targets, geom::Vec2 p,
     double* retrieved_up_to, QueryStats* stats,
-    std::unique_ptr<vis::DijkstraScan>* out_scan) {
+    std::unique_ptr<vis::DijkstraScan>* out_scan, vis::ScanArena* arena,
+    bool warm_restarts) {
   CONN_CHECK_MSG(!targets.empty(), "IOR requires at least one target vertex");
+  // Local shortest paths on the current graph (Algorithm 1 line 2).
+  auto make_scan = [&] {
+    return arena != nullptr
+               ? std::make_unique<vis::DijkstraScan>(vg, p, arena)
+               : std::make_unique<vis::DijkstraScan>(vg, p);
+  };
+  auto scan = make_scan();
+  if (stats != nullptr) ++stats->dijkstra_runs;
   double d = 0.0;
   while (true) {
-    // Local shortest paths on the current graph (Algorithm 1 line 2).
-    auto scan = std::make_unique<vis::DijkstraScan>(vg, p);
-    if (stats != nullptr) ++stats->dijkstra_runs;
+    const size_t settled_before = scan->SettledCount();
     d = scan->SettleTargets(targets);
-    if (stats != nullptr) stats->dijkstra_settled += scan->SettledCount();
+    if (stats != nullptr) {
+      stats->dijkstra_settled += scan->SettledCount() - settled_before;
+    }
 
     // Lemma 3: once every obstacle with mindist <= d is present and the
     // recomputed paths do not lengthen, the paths are the true shortest
     // paths and the search range SR(p, q) (Theorem 2) is covered.
-    if (d <= *retrieved_up_to) {
-      if (out_scan != nullptr) *out_scan = std::move(scan);
-      break;
-    }
+    if (d <= *retrieved_up_to) break;
 
     bool fetched = false;
     rtree::DataObject obstacle;
@@ -117,12 +123,24 @@ double IncrementalObstacleRetrieval(
     // All obstacles with mindist <= d are now local (the source yields them
     // in ascending order and refused only those beyond d).
     *retrieved_up_to = std::max(*retrieved_up_to, d);
-    if (!fetched) {
-      // Graph unchanged => d is final and the scan is still valid.
-      if (out_scan != nullptr) *out_scan = std::move(scan);
-      break;
+    // Graph unchanged => d is final and the scan is still valid.
+    if (!fetched) break;
+
+    if (warm_restarts) {
+      // Lemma-3 restart on the grown graph: roll back only the settlement
+      // suffix the new obstacles can reach, keep the provably unaffected
+      // prefix.
+      scan->Revalidate();
+      if (stats != nullptr) ++stats->scan_warm_restarts;
+    } else {
+      // Reference path: recompute from scratch (destroy first — the arena
+      // admits one live scan at a time).
+      scan.reset();
+      scan = make_scan();
+      if (stats != nullptr) ++stats->dijkstra_runs;
     }
   }
+  if (out_scan != nullptr) *out_scan = std::move(scan);
   return d;
 }
 

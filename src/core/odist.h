@@ -120,11 +120,20 @@ class UnifiedStream : public ObstacleSource {
 /// (valid for the now-stable obstacle set) so CPLC can continue it instead
 /// of re-seeding — the scan's settlement log already covers the search
 /// range of Theorem 2.
+///
+/// \p arena (optional) backs the scan with pooled epoch-stamped state; a
+/// query (or a batch shard) passes one arena so consecutive scans skip the
+/// per-scan O(V) initialization.  With \p warm_restarts (the default) an
+/// obstacle wave revalidates and extends the previous scan
+/// (DijkstraScan::Revalidate) instead of recomputing it from scratch;
+/// disabling it forces the paper-literal fresh scan per Lemma-3 iteration
+/// — the reference path the equivalence suite compares against.
 double IncrementalObstacleRetrieval(
     ObstacleSource* source, vis::VisGraph* vg,
     const std::vector<vis::VertexId>& targets, geom::Vec2 p,
     double* retrieved_up_to, QueryStats* stats,
-    std::unique_ptr<vis::DijkstraScan>* out_scan = nullptr);
+    std::unique_ptr<vis::DijkstraScan>* out_scan = nullptr,
+    vis::ScanArena* arena = nullptr, bool warm_restarts = true);
 
 }  // namespace core
 }  // namespace conn

@@ -19,7 +19,6 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 OnnResult OnnQuery(const rtree::RStarTree& data_tree,
                    const rtree::RStarTree& obstacle_tree,
                    geom::Vec2 query_point, size_t k, const ConnOptions& opts) {
-  (void)opts;
   CONN_CHECK_MSG(k >= 1, "ONN requires k >= 1");
   Timer timer;
   QueryStats stats;
@@ -33,6 +32,7 @@ OnnResult OnnQuery(const rtree::RStarTree& data_tree,
   const geom::Rect domain =
       internal::WorkspaceBounds(&data_tree, &obstacle_tree, q);
   vis::VisGraph vg(domain, &stats);
+  vis::ScanArena arena;
   const vis::VertexId target = vg.AddFixedVertex(query_point);
   TreeObstacleSource obstacle_source(obstacle_tree, q);
 
@@ -56,7 +56,8 @@ OnnResult OnnQuery(const rtree::RStarTree& data_tree,
                    "data tree contains a non-point entry");
     ++stats.points_evaluated;
     const double od = IncrementalObstacleRetrieval(
-        &obstacle_source, &vg, {target}, obj.AsPoint(), &retrieved, &stats);
+        &obstacle_source, &vg, {target}, obj.AsPoint(), &retrieved, &stats,
+        /*out_scan=*/nullptr, &arena, opts.use_warm_scan_restarts);
     if (od >= kth_bound()) continue;
     best.push_back({static_cast<int64_t>(obj.id), od});
     std::sort(best.begin(), best.end(),

@@ -23,6 +23,14 @@ struct ConnOptions {
   /// forces evaluation of every data point (for the ablation only).
   bool use_rlmax_terminate = true;
 
+  /// Warm IOR restarts: an obstacle wave revalidates and extends the
+  /// previous Dijkstra scan (rolling back only the settlement suffix the
+  /// new obstacles can reach) instead of recomputing it from scratch.
+  /// Results are bit-identical either way; disabling selects the
+  /// paper-literal fresh-scan-per-Lemma-3-iteration reference path that
+  /// the scan-arena equivalence suite compares against.
+  bool use_warm_scan_restarts = true;
+
   /// Resolution of the local obstacle grid (cells per side).
   int grid_cells_per_side = 64;
 };

@@ -19,6 +19,7 @@
 
 #include "geom/box.h"
 #include "rtree/rstar_tree.h"
+#include "vis/dijkstra.h"
 #include "vis/vis_graph.h"
 
 namespace conn {
@@ -40,6 +41,12 @@ class QueryWorkspace {
 
   vis::VisGraph* graph() { return &vg_; }
 
+  /// The pooled Dijkstra scan state every query of this workspace runs on:
+  /// epoch-stamped arrays sized once for the shared graph, so consecutive
+  /// scans (one per data point per query) start in O(1) instead of paying
+  /// a per-scan O(V) initialization.
+  vis::ScanArena* scan_arena() { return &scan_arena_; }
+
   /// Obstacle insertions skipped because a sibling query already fetched
   /// the obstacle — the retrieval work saved by sharing.
   uint64_t ObstacleReuseHits() const { return vg_.DuplicateObstacleSkips(); }
@@ -49,6 +56,7 @@ class QueryWorkspace {
 
  private:
   vis::VisGraph vg_;
+  vis::ScanArena scan_arena_;
 };
 
 }  // namespace core

@@ -8,7 +8,10 @@
 // sharded by spatial locality (exec/sharder.h), shards run on a worker
 // pool (exec/thread_pool.h), and every shard's queries share one
 // core::QueryWorkspace, so incremental obstacle retrieval accumulates
-// across the shard instead of restarting per query.
+// across the shard instead of restarting per query.  The workspace also
+// carries the shard's vis::ScanArena: every Dijkstra scan of every query
+// in the shard runs on the same pooled epoch-stamped state, sized once
+// for the shared graph (see vis/dijkstra.h).
 //
 // Correctness bar: results are identical to the single-query engine — the
 // shared graph only ever holds a superset of each query's Theorem-2

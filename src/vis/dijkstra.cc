@@ -1,71 +1,142 @@
 #include "vis/dijkstra.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
+#include "geom/distance.h"
+#include "geom/predicates.h"
 
 namespace conn {
 namespace vis {
 
 DijkstraScan::DijkstraScan(VisGraph* graph, geom::Vec2 source)
-    : graph_(graph), source_(source) {
-  const size_t n = graph->VertexCount();
-  dist_.assign(n, kInf);
-  pred_.assign(n, kPredNone);
-  settled_.assign(n, false);
-  // Defer the source's sight-line tests: vertices are seeded lazily in
-  // ascending Euclidean distance as the settlement frontier reaches them.
-  // Recycled slots (fixed vertices of finished query sessions) are skipped.
-  seed_order_.reserve(n);
-  for (VertexId v = 0; v < n; ++v) {
-    if (!graph->IsAlive(v)) continue;
-    seed_order_.emplace_back(geom::Dist(source, graph->VertexPos(v)), v);
+    : graph_(graph),
+      source_(source),
+      owned_arena_(std::make_unique<ScanArena>()),
+      arena_(owned_arena_.get()) {
+  Begin();
+}
+
+DijkstraScan::DijkstraScan(VisGraph* graph, geom::Vec2 source,
+                           ScanArena* arena)
+    : graph_(graph), source_(source), arena_(arena) {
+  CONN_CHECK_MSG(!arena_->in_use_,
+                 "ScanArena admits one live scan at a time");
+  Begin();
+}
+
+DijkstraScan::~DijkstraScan() { arena_->in_use_ = false; }
+
+void DijkstraScan::Begin() {
+  arena_->in_use_ = true;
+  epoch_ = ++arena_->epoch_;
+  arena_->EnsureCapacity(graph_->VertexCount());
+  arena_->heap_.clear();
+  arena_->pending_.clear();
+  arena_->seed_log_.clear();
+  arena_->log_.clear();
+  settled_count_ = 0;
+  next_cursor_ = 0;
+  rings_done_ = 0;
+  graph_epoch_ = graph_->epoch();
+  obstacle_watermark_ = graph_->obstacles().size();
+}
+
+double DijkstraScan::NextSeedLowerBound() const {
+  double lb = graph_->vertex_grid().RingMinDist(source_, rings_done_);
+  if (!arena_->pending_.empty()) {
+    lb = std::min(lb, arena_->pending_.front().euclid);
   }
-  std::sort(seed_order_.begin(), seed_order_.end());
+  return lb;
+}
+
+void DijkstraScan::EmitRing(int ring) {
+  arena_->EnsureCapacity(graph_->VertexCount());
+  graph_->vertex_grid().VisitRing(source_, ring, [&](uint32_t item) {
+    const VertexId v = item;
+    if (!graph_->IsAlive(v)) return;
+    if (arena_->seeded_stamp_[v] == epoch_) return;
+    arena_->seeded_stamp_[v] = epoch_;
+    arena_->pending_.push_back(
+        {geom::Dist(source_, graph_->VertexPos(v)), v});
+    std::push_heap(arena_->pending_.begin(), arena_->pending_.end(),
+                   std::greater<>());
+  });
+}
+
+void DijkstraScan::ExpandRingsUpTo(double bound) {
+  const GridIndex& grid = graph_->vertex_grid();
+  while (true) {
+    const double rmin = grid.RingMinDist(source_, rings_done_);
+    if (std::isinf(rmin) || rmin > bound) break;
+    EmitRing(rings_done_);
+    ++rings_done_;
+  }
+}
+
+bool DijkstraScan::TrySeed(VertexId v, double euclid) {
+  if (euclid <= geom::kEpsDist) {
+    // Source coincides with the vertex: trivially reachable.
+    Push(v, euclid, kPredSource);
+    return true;
+  }
+  const geom::Vec2 pos = graph_->VertexPos(v);
+  if (graph_->DirectionEntersCorner(v, source_ - pos)) return false;
+  if (QueryStats* stats = graph_->stats()) ++stats->seed_tests;
+  if (graph_->Visible(source_, pos)) {
+    Push(v, euclid, kPredSource);
+    return true;
+  }
+  return false;
 }
 
 void DijkstraScan::SeedUpTo(double bound) {
-  while (seed_next_ < seed_order_.size() &&
-         seed_order_[seed_next_].first <= bound) {
-    const auto [euclid, v] = seed_order_[seed_next_++];
-    if (euclid <= geom::kEpsDist) {
-      // Source coincides with the vertex: trivially reachable.
-      Push(v, euclid, kPredSource);
-      continue;
-    }
-    const geom::Vec2 pos = graph_->VertexPos(v);
-    if (graph_->DirectionEntersCorner(v, source_ - pos)) continue;
-    if (graph_->Visible(source_, pos)) {
-      Push(v, euclid, kPredSource);
-    }
+  ExpandRingsUpTo(bound);
+  auto& pending = arena_->pending_;
+  while (!pending.empty() && pending.front().euclid <= bound) {
+    const ScanArena::SeedCand cand = pending.front();
+    std::pop_heap(pending.begin(), pending.end(), std::greater<>());
+    pending.pop_back();
+    const bool pushed = TrySeed(cand.v, cand.euclid);
+    arena_->seed_log_.push_back({cand.euclid, cand.v, pushed});
   }
 }
 
 void DijkstraScan::Push(VertexId v, double dist, int32_t pred) {
-  if (dist < dist_[v]) {
-    dist_[v] = dist;
-    pred_[v] = pred;
-    heap_.push({dist, v});
+  if (arena_->dist_stamp_[v] != epoch_ || dist < arena_->dist_[v]) {
+    arena_->dist_[v] = dist;
+    arena_->pred_[v] = pred;
+    arena_->dist_stamp_[v] = epoch_;
+    arena_->heap_.push_back({dist, v});
+    std::push_heap(arena_->heap_.begin(), arena_->heap_.end(),
+                   std::greater<>());
   }
 }
 
-namespace {
-// Forward declaration helper is unnecessary; logic lives in PrepareTop.
-}  // namespace
-
 bool DijkstraScan::PrepareTop() {
+  CONN_CHECK_MSG(graph_->epoch() == graph_epoch_,
+                 "graph gained obstacles mid-scan; call Revalidate() first");
+  // Fixed vertices patched in mid-scan don't bump the epoch; make sure the
+  // per-vertex arrays cover them before relaxation touches their slots.
+  arena_->EnsureCapacity(graph_->VertexCount());
+  auto& heap = arena_->heap_;
   while (true) {
-    while (!heap_.empty() && settled_[heap_.top().v]) heap_.pop();
-    if (heap_.empty()) {
-      if (seed_next_ >= seed_order_.size()) return false;
-      SeedUpTo(seed_order_[seed_next_].first);
+    while (!heap.empty() &&
+           arena_->settled_stamp_[heap.front().v] == epoch_) {
+      std::pop_heap(heap.begin(), heap.end(), std::greater<>());
+      heap.pop_back();
+    }
+    const double seed_lb = NextSeedLowerBound();
+    if (heap.empty()) {
+      if (seed_lb == kInf) return false;
+      SeedUpTo(seed_lb);
       continue;
     }
     // Invariant: before settling at distance D, every vertex whose direct
     // source edge could be shorter (euclid <= D) must have been seeded.
-    if (seed_next_ < seed_order_.size() &&
-        seed_order_[seed_next_].first <= heap_.top().dist) {
-      SeedUpTo(heap_.top().dist);
+    if (seed_lb <= heap.front().dist) {
+      SeedUpTo(heap.front().dist);
       continue;
     }
     return true;
@@ -73,28 +144,32 @@ bool DijkstraScan::PrepareTop() {
 }
 
 double DijkstraScan::PeekDist() {
-  if (next_cursor_ < log_.size()) return log_[next_cursor_].dist;
+  if (next_cursor_ < arena_->log_.size()) {
+    return arena_->log_[next_cursor_].dist;
+  }
   if (!PrepareTop()) return kInf;
-  return heap_.top().dist;
+  return arena_->heap_.front().dist;
 }
 
 bool DijkstraScan::SettleOne() {
   if (!PrepareTop()) return false;
-  const Item top = heap_.top();
-  heap_.pop();
-  settled_[top.v] = true;
+  auto& heap = arena_->heap_;
+  const ScanArena::HeapItem top = heap.front();
+  std::pop_heap(heap.begin(), heap.end(), std::greater<>());
+  heap.pop_back();
+  arena_->settled_stamp_[top.v] = epoch_;
   ++settled_count_;
   for (const VisEdge& e : graph_->Neighbors(top.v)) {
-    if (!settled_[e.to]) {
+    if (arena_->settled_stamp_[e.to] != epoch_) {
       Push(e.to, top.dist + e.length, static_cast<int32_t>(top.v));
     }
   }
-  log_.push_back({top.v, top.dist, pred_[top.v]});
+  arena_->log_.push_back({top.v, top.dist, arena_->pred_[top.v]});
   return true;
 }
 
 bool DijkstraScan::EnsureSettled(size_t i) {
-  while (log_.size() <= i) {
+  while (arena_->log_.size() <= i) {
     if (!SettleOne()) return false;
   }
   return true;
@@ -102,7 +177,7 @@ bool DijkstraScan::EnsureSettled(size_t i) {
 
 bool DijkstraScan::Next(VertexId* v, double* dist, int32_t* pred) {
   if (!EnsureSettled(next_cursor_)) return false;
-  const Settled& entry = log_[next_cursor_++];
+  const Settled& entry = arena_->log_[next_cursor_++];
   *v = entry.v;
   *dist = entry.dist;
   *pred = entry.pred;
@@ -110,16 +185,27 @@ bool DijkstraScan::Next(VertexId* v, double* dist, int32_t* pred) {
 }
 
 double DijkstraScan::SettleTargets(const std::vector<VertexId>& targets) {
+  // Mark the unique, not-yet-settled targets and count them; settlement
+  // pops then pay O(1) per vertex instead of a linear target search.
+  // Already-settled log entries between the read cursor and the log end
+  // (left by an earlier consumer) never decrement the counter, because
+  // only unsettled targets are marked.
+  const uint64_t mark = ++arena_->target_epoch_;
   size_t remaining = 0;
   for (VertexId t : targets) {
-    CONN_CHECK(t < settled_.size());
-    if (!settled_[t]) ++remaining;
+    CONN_CHECK(t < arena_->target_stamp_.size());
+    if (arena_->target_stamp_[t] == mark) continue;  // duplicate target id
+    if (!IsSettled(t)) {
+      arena_->target_stamp_[t] = mark;
+      ++remaining;
+    }
   }
   VertexId v;
   double d;
   int32_t pred;
   while (remaining > 0 && Next(&v, &d, &pred)) {
-    if (std::find(targets.begin(), targets.end(), v) != targets.end()) {
+    if (arena_->target_stamp_[v] == mark) {
+      arena_->target_stamp_[v] = 0;
       --remaining;
     }
   }
@@ -128,6 +214,80 @@ double DijkstraScan::SettleTargets(const std::vector<VertexId>& targets) {
     max_dist = std::max(max_dist, DistOf(t));
   }
   return max_dist;
+}
+
+void DijkstraScan::Revalidate() {
+  if (graph_->epoch() == graph_epoch_) return;
+  graph_epoch_ = graph_->epoch();
+  const ObstacleSet& obs = graph_->obstacles();
+  double m = kInf;
+  for (size_t i = obstacle_watermark_; i < obs.size(); ++i) {
+    m = std::min(m, geom::MinDistRectPoint(obs.rect(i), source_));
+  }
+  obstacle_watermark_ = obs.size();
+
+  // Anything settled or seeded strictly below the cut provably kept its
+  // shortest path: a path of length L stays inside the L-disk around the
+  // source, so it cannot touch an obstacle at distance >= m, and any new
+  // path through a fresh corner first pays >= m to reach it.  The eps
+  // backs the cut off that boundary so predicate tolerances cannot flip a
+  // grazing sight-line.
+  const double cut = m - geom::kEpsDist;
+
+  auto& log = arena_->log_;
+  auto& seed_log = arena_->seed_log_;
+  size_t keep_log = 0;
+  while (keep_log < log.size() && log[keep_log].dist < cut) ++keep_log;
+  size_t keep_seed = 0;
+  while (keep_seed < seed_log.size() && seed_log[keep_seed].euclid < cut) {
+    ++keep_seed;
+  }
+  log.resize(keep_log);
+  seed_log.resize(keep_seed);
+  settled_count_ = keep_log;
+  next_cursor_ = std::min(next_cursor_, keep_log);
+
+  // Fresh epoch: O(1) wholesale invalidation of the per-vertex arrays.
+  epoch_ = ++arena_->epoch_;
+  arena_->EnsureCapacity(graph_->VertexCount());
+  arena_->heap_.clear();
+  arena_->pending_.clear();
+
+  // Re-mark the kept seeds, then refill the pending pool by re-walking the
+  // already-expanded rings.  Corner vertices the new obstacles added land
+  // in the pool automatically when their cell was already visited; cells
+  // beyond rings_done_ pick them up on the normal lazy path.
+  for (const ScanArena::SeedLogEntry& s : seed_log) {
+    arena_->seeded_stamp_[s.v] = epoch_;
+  }
+  const int rings = rings_done_;
+  for (int r = 0; r < rings; ++r) EmitRing(r);
+
+  // Replay the kept prefix in the original operation order (seeds with
+  // euclid <= D flush before the settlement at D), so exact distance ties
+  // resolve identically to an uninterrupted scan.  Seed visibility tests
+  // are NOT re-run — the kept outcomes are provably unchanged.
+  size_t si = 0;
+  for (size_t li = 0; li < keep_log; ++li) {
+    const ScanSettled entry = log[li];
+    while (si < keep_seed && seed_log[si].euclid <= entry.dist) {
+      const ScanArena::SeedLogEntry s = seed_log[si++];
+      if (s.pushed) Push(s.v, s.euclid, kPredSource);
+    }
+    arena_->dist_[entry.v] = entry.dist;
+    arena_->pred_[entry.v] = entry.pred;
+    arena_->dist_stamp_[entry.v] = epoch_;
+    arena_->settled_stamp_[entry.v] = epoch_;
+    for (const VisEdge& e : graph_->Neighbors(entry.v)) {
+      if (arena_->settled_stamp_[e.to] != epoch_) {
+        Push(e.to, entry.dist + e.length, static_cast<int32_t>(entry.v));
+      }
+    }
+  }
+  while (si < keep_seed) {
+    const ScanArena::SeedLogEntry s = seed_log[si++];
+    if (s.pushed) Push(s.v, s.euclid, kPredSource);
+  }
 }
 
 }  // namespace vis

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 
@@ -36,6 +37,44 @@ void GridIndex::Insert(uint32_t item, const geom::Rect& rect) {
   for (int cy = y0; cy <= y1; ++cy) {
     for (int cx = x0; cx <= x1; ++cx) CellAt(cx, cy).push_back(item);
   }
+}
+
+void GridIndex::InsertPoint(uint32_t item, geom::Vec2 p) {
+  if (item >= stamp_.size()) stamp_.resize(item + 1, 0);
+  item_count_ = std::max(item_count_, static_cast<size_t>(item) + 1);
+  CellAt(ClampCellX(p.x), ClampCellY(p.y)).push_back(item);
+}
+
+void GridIndex::RemovePoint(uint32_t item, geom::Vec2 p) {
+  std::vector<uint32_t>& cell = CellAt(ClampCellX(p.x), ClampCellY(p.y));
+  const auto it = std::find(cell.begin(), cell.end(), item);
+  CONN_CHECK_MSG(it != cell.end(), "RemovePoint: item not in its cell");
+  cell.erase(it);
+}
+
+double GridIndex::RingMinDist(geom::Vec2 center, int ring) const {
+  if (ring <= 0) return 0.0;
+  const int cx = ClampCellX(center.x), cy = ClampCellY(center.y);
+  // Cells with ring index >= `ring` lie outside the (2*ring-1)-cell block
+  // centered on (cx, cy).  Per side, the separating coordinate line bounds
+  // the distance of anything beyond it; sides whose block edge already
+  // leaves the grid contribute no cells.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double best = kInf;
+  if (cx - ring + 1 > 0) {
+    best = std::min(best, center.x - (domain_.lo.x + (cx - ring + 1) * cell_w_));
+  }
+  if (cx + ring - 1 < n_ - 1) {
+    best = std::min(best, (domain_.lo.x + (cx + ring) * cell_w_) - center.x);
+  }
+  if (cy - ring + 1 > 0) {
+    best = std::min(best, center.y - (domain_.lo.y + (cy - ring + 1) * cell_h_));
+  }
+  if (cy + ring - 1 < n_ - 1) {
+    best = std::min(best, (domain_.lo.y + (cy + ring) * cell_h_) - center.y);
+  }
+  if (best == kInf) return kInf;  // rings < ring already cover the grid
+  return std::max(0.0, best);
 }
 
 void GridIndex::BeginQuery() const { ++epoch_; }

@@ -32,6 +32,15 @@ class GridIndex {
   /// cell.  Item indices must be dense (0, 1, 2, ...).
   void Insert(uint32_t item, const geom::Rect& rect);
 
+  /// Registers point item \p item in its single containing cell.  Unlike
+  /// Insert, ids need not arrive densely and may be reused after
+  /// RemovePoint — the update path for recycled visibility-graph vertex
+  /// slots.
+  void InsertPoint(uint32_t item, geom::Vec2 p);
+
+  /// Unregisters a point item previously added at \p p via InsertPoint.
+  void RemovePoint(uint32_t item, geom::Vec2 p);
+
   size_t item_count() const { return item_count_; }
 
   /// Appends (deduplicated) candidate items whose cells the segment passes
@@ -78,6 +87,46 @@ class GridIndex {
 
   /// Appends (deduplicated) candidate items in the cell containing \p p.
   void CandidatesAtPoint(geom::Vec2 p, std::vector<uint32_t>* out) const;
+
+  // --- expanding-ring enumeration (output-sensitive Dijkstra seeding) ---
+  //
+  // Rings are square (Chebyshev) shells of cells around the cell containing
+  // \p center: ring 0 is that cell, ring r the perimeter of the
+  // (2r+1) x (2r+1) block.  Enumerating rings in order yields every item
+  // eventually, and RingMinDist gives a monotone lower bound on the
+  // Euclidean distance of anything not yet enumerated — the contract the
+  // lazy-seeding scan needs to stop after O(items reached) work.
+
+  /// Lower bound on the distance from \p center to any point of any cell
+  /// with ring index >= \p ring; +infinity once rings < \p ring already
+  /// cover the whole grid.  Valid for clamped (out-of-domain) items too:
+  /// clamping only moves coordinates inward, so an item stored in a ring-r
+  /// cell is at least this far from \p center.
+  double RingMinDist(geom::Vec2 center, int ring) const;
+
+  /// Visits every item registered in a cell of ring \p ring around
+  /// \p center.  Items are visited once per cell they occupy (point items:
+  /// exactly once); no cross-call deduplication.
+  template <typename Visitor>
+  void VisitRing(geom::Vec2 center, int ring, Visitor&& visit) const {
+    const int cx = ClampCellX(center.x), cy = ClampCellY(center.y);
+    auto emit = [&](int x, int y) {
+      if (x < 0 || x >= n_ || y < 0 || y >= n_) return;
+      for (uint32_t item : CellAt(x, y)) visit(item);
+    };
+    if (ring == 0) {
+      emit(cx, cy);
+      return;
+    }
+    for (int x = cx - ring; x <= cx + ring; ++x) {
+      emit(x, cy - ring);
+      emit(x, cy + ring);
+    }
+    for (int y = cy - ring + 1; y <= cy + ring - 1; ++y) {
+      emit(cx - ring, y);
+      emit(cx + ring, y);
+    }
+  }
 
  private:
   int ClampCellX(double x) const;

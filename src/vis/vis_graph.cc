@@ -8,7 +8,9 @@ namespace conn {
 namespace vis {
 
 VisGraph::VisGraph(const geom::Rect& domain, QueryStats* stats)
-    : obstacles_(domain), stats_(stats) {}
+    : vertex_grid_(domain, /*cells_per_side=*/64),
+      obstacles_(domain),
+      stats_(stats) {}
 
 VertexId VisGraph::AddVertexInternal(geom::Vec2 p) {
   if (!free_slots_.empty()) {
@@ -19,6 +21,7 @@ VertexId VisGraph::AddVertexInternal(geom::Vec2 p) {
     adj_computed_[id] = false;
     corner_[id] = CornerInfo{};
     alive_[id] = true;
+    vertex_grid_.InsertPoint(id, p);
     return id;
   }
   const VertexId id = static_cast<VertexId>(vertices_.size());
@@ -27,6 +30,7 @@ VertexId VisGraph::AddVertexInternal(geom::Vec2 p) {
   adj_computed_.push_back(false);
   corner_.emplace_back();
   alive_.push_back(true);
+  vertex_grid_.InsertPoint(id, p);
   return id;
 }
 
@@ -69,6 +73,7 @@ void VisGraph::RemoveFixedVertices(const std::vector<VertexId>& ids) {
     adj_[v].clear();
     adj_computed_[v] = false;
     alive_[v] = false;
+    vertex_grid_.RemovePoint(v, vertices_[v]);
     free_slots_.push_back(v);
   }
 }

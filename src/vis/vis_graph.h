@@ -35,6 +35,7 @@
 
 #include "common/stats.h"
 #include "geom/segment.h"
+#include "vis/grid_index.h"
 #include "vis/obstacle_set.h"
 
 namespace conn {
@@ -98,6 +99,12 @@ class VisGraph {
 
   const ObstacleSet& obstacles() const { return obstacles_; }
 
+  /// Spatial index of the live vertices (items are VertexIds; recycled
+  /// slots are removed on RemoveFixedVertices).  DijkstraScan expands its
+  /// seed frontier through this grid's distance rings instead of sorting
+  /// the full vertex set per scan.
+  const GridIndex& vertex_grid() const { return vertex_grid_; }
+
   /// Redirects visibility/obstacle counters (nullptr disables).  A shard-
   /// shared graph points this at the stats of the query currently running.
   void set_stats(QueryStats* stats) { stats_ = stats; }
@@ -142,6 +149,7 @@ class VisGraph {
   std::vector<bool> alive_;
   std::vector<VertexId> free_slots_;  // recycled fixed-vertex slots
   uint64_t epoch_ = 1;
+  GridIndex vertex_grid_;
   ObstacleSet obstacles_;
   std::unordered_set<rtree::ObjectId> obstacle_ids_;
   uint64_t duplicate_obstacle_skips_ = 0;

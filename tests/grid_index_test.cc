@@ -2,12 +2,14 @@
 // must be supersets of the exact answers (conservativeness) and deduplicated.
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 #include "geom/predicates.h"
+#include "geom/vec.h"
 #include "vis/grid_index.h"
 
 namespace conn {
@@ -85,6 +87,84 @@ TEST_P(GridSegmentProperty, SegmentCandidatesAreSupersetOfIntersecting) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GridSegmentProperty,
                          ::testing::Range<uint64_t>(1, 7));
+
+TEST(GridRingTest, RingsPartitionAllPointItems) {
+  Rng rng(0x41B3);
+  GridIndex grid(geom::Rect({0, 0}, {100, 100}), 8);
+  // Include out-of-domain points: they clamp into border cells and must
+  // still be enumerated by some ring.
+  std::vector<geom::Vec2> pts;
+  for (uint32_t i = 0; i < 60; ++i) {
+    pts.push_back({rng.Uniform(-20, 120), rng.Uniform(-20, 120)});
+    grid.InsertPoint(i, pts.back());
+  }
+  const geom::Vec2 center{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+  std::multiset<uint32_t> seen;
+  for (int ring = 0; !std::isinf(grid.RingMinDist(center, ring)); ++ring) {
+    grid.VisitRing(center, ring, [&](uint32_t item) { seen.insert(item); });
+  }
+  ASSERT_EQ(seen.size(), pts.size()) << "each point in exactly one ring cell";
+  for (uint32_t i = 0; i < pts.size(); ++i) EXPECT_EQ(seen.count(i), 1u);
+}
+
+TEST(GridRingTest, RingMinDistLowerBoundsItemDistances) {
+  Rng rng(0x41B4);
+  GridIndex grid(geom::Rect({0, 0}, {100, 100}), 8);
+  std::vector<geom::Vec2> pts;
+  for (uint32_t i = 0; i < 80; ++i) {
+    pts.push_back({rng.Uniform(-15, 115), rng.Uniform(-15, 115)});
+    grid.InsertPoint(i, pts.back());
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    const geom::Vec2 center{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    double lb = 0.0;
+    for (int ring = 0;; ++ring) {
+      lb = grid.RingMinDist(center, ring);
+      if (std::isinf(lb)) break;
+      EXPECT_GE(lb, 0.0);
+      // Every item enumerated at ring indices >= ring must be at least lb
+      // away — the contract lazy seeding termination rests on.
+      for (int r2 = ring; !std::isinf(grid.RingMinDist(center, r2)); ++r2) {
+        grid.VisitRing(center, r2, [&](uint32_t item) {
+          EXPECT_GE(geom::Dist(center, pts[item]) + 1e-12, lb)
+              << "item " << item << " ring " << r2 << " vs bound at " << ring;
+        });
+      }
+    }
+  }
+}
+
+TEST(GridRingTest, RingMinDistIsMonotoneNondecreasing) {
+  GridIndex grid(geom::Rect({0, 0}, {100, 100}), 16);
+  const geom::Vec2 center{33.0, 71.0};
+  double prev = grid.RingMinDist(center, 0);
+  for (int ring = 1; ring < 40; ++ring) {
+    const double cur = grid.RingMinDist(center, ring);
+    EXPECT_GE(cur, prev) << "ring " << ring;
+    prev = cur;
+  }
+  EXPECT_TRUE(std::isinf(prev));
+}
+
+TEST(GridRingTest, RemovePointDropsItemFromEnumeration) {
+  GridIndex grid(geom::Rect({0, 0}, {100, 100}), 8);
+  grid.InsertPoint(0, {10, 10});
+  grid.InsertPoint(1, {50, 50});
+  grid.RemovePoint(0, {10, 10});
+  std::vector<uint32_t> seen;
+  for (int ring = 0; !std::isinf(grid.RingMinDist({50, 50}, ring)); ++ring) {
+    grid.VisitRing({50, 50}, ring, [&](uint32_t item) { seen.push_back(item); });
+  }
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], 1u);
+  // Slot reuse after removal (the recycled fixed-vertex path).
+  grid.InsertPoint(0, {90, 90});
+  seen.clear();
+  for (int ring = 0; !std::isinf(grid.RingMinDist({90, 90}, ring)); ++ring) {
+    grid.VisitRing({90, 90}, ring, [&](uint32_t item) { seen.push_back(item); });
+  }
+  EXPECT_EQ(seen.size(), 2u);
+}
 
 }  // namespace
 }  // namespace vis
