@@ -23,12 +23,12 @@ void BestFirstIterator::EnsureTopIsObject() {
   while (!heap_.empty() && heap_.top().is_node) {
     const HeapItem top = heap_.top();
     heap_.pop();
-    Node node;
     // Page ids in the heap come from the tree itself; failure here means
     // structural corruption, not a caller error.
-    CONN_CHECK_MSG(
-        tree_.ReadNode(static_cast<storage::PageId>(top.payload), &node).ok(),
-        "best-first read failed");
+    StatusOr<ConstNodeRef> ref =
+        tree_.FetchNode(static_cast<storage::PageId>(top.payload));
+    CONN_CHECK_MSG(ref.ok(), "best-first read failed");
+    const Node& node = *ref.value();
     for (const NodeEntry& e : node.entries) {
       HeapItem item;
       item.dist = geom::MinDistRectSegment(e.rect, query_);

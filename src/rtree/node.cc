@@ -22,18 +22,17 @@ void Node::ToPage(storage::Page* page) const {
   }
 }
 
-Node Node::FromPage(const storage::Page& page) {
-  Node node;
-  node.level = page.ReadAt<uint16_t>(0);
+void Node::AssignFromPage(const storage::Page& page) {
+  level = page.ReadAt<uint16_t>(0);
   const uint16_t count = page.ReadAt<uint16_t>(2);
   CONN_CHECK_MSG(count <= kNodeCapacity, "corrupt node: count > capacity");
-  node.entries.reserve(count);
+  entries.clear();
+  entries.reserve(count);
   size_t off = 8;
   for (uint16_t i = 0; i < count; ++i) {
-    node.entries.push_back(page.ReadAt<NodeEntry>(off));
+    entries.push_back(page.ReadAt<NodeEntry>(off));
     off += sizeof(NodeEntry);
   }
-  return node;
 }
 
 }  // namespace rtree

@@ -11,6 +11,7 @@
 #ifndef CONN_RTREE_NODE_H_
 #define CONN_RTREE_NODE_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/check.h"
@@ -47,9 +48,23 @@ class Node {
   /// Serializes into a 4 KB page.  The node must not be overflowing.
   void ToPage(storage::Page* page) const;
 
+  /// Deserializes \p page into this node, reusing the entry vector's
+  /// capacity; validates the header.
+  void AssignFromPage(const storage::Page& page);
+
   /// Deserializes from a page; validates the header.
-  static Node FromPage(const storage::Page& page);
+  static Node FromPage(const storage::Page& page) {
+    Node node;
+    node.AssignFromPage(page);
+    return node;
+  }
 };
+
+/// Shared immutable view of a deserialized node.  FetchNode() hands these
+/// out from the buffer pool's per-frame decoded cache: hot nodes are parsed
+/// once per residency and then shared by every reader, and a ref outlives
+/// eviction safely (the frame merely drops its reference).
+using ConstNodeRef = std::shared_ptr<const Node>;
 
 }  // namespace rtree
 }  // namespace conn

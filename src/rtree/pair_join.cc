@@ -27,13 +27,13 @@ void PairDistanceJoin::PushChildren(const Item& top) {
   // when both are nodes (classic simultaneous traversal keeps the heap
   // shallower than alternating single-side expansion).
   if (top.a_is_node && top.b_is_node) {
-    Node na, nb;
-    CONN_CHECK(tree_a_.ReadNode(static_cast<storage::PageId>(top.a_payload),
-                                &na)
-                   .ok());
-    CONN_CHECK(tree_b_.ReadNode(static_cast<storage::PageId>(top.b_payload),
-                                &nb)
-                   .ok());
+    StatusOr<ConstNodeRef> ra =
+        tree_a_.FetchNode(static_cast<storage::PageId>(top.a_payload));
+    StatusOr<ConstNodeRef> rb =
+        tree_b_.FetchNode(static_cast<storage::PageId>(top.b_payload));
+    CONN_CHECK(ra.ok() && rb.ok());
+    const Node& na = *ra.value();
+    const Node& nb = *rb.value();
     for (const NodeEntry& ea : na.entries) {
       for (const NodeEntry& eb : nb.entries) {
         Item item;
@@ -55,11 +55,10 @@ void PairDistanceJoin::PushChildren(const Item& top) {
   // object on the other side.
   const bool expand_a = top.a_is_node;
   const RStarTree& tree = expand_a ? tree_a_ : tree_b_;
-  Node node;
-  CONN_CHECK(tree.ReadNode(static_cast<storage::PageId>(
-                               expand_a ? top.a_payload : top.b_payload),
-                           &node)
-                 .ok());
+  StatusOr<ConstNodeRef> ref = tree.FetchNode(static_cast<storage::PageId>(
+      expand_a ? top.a_payload : top.b_payload));
+  CONN_CHECK(ref.ok());
+  const Node& node = *ref.value();
   for (const NodeEntry& e : node.entries) {
     Item item = top;
     const geom::Rect other = expand_a ? top.b_rect : top.a_rect;

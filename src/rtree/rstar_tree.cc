@@ -114,31 +114,51 @@ SplitScan ComputeScan(const std::vector<NodeEntry>& entries) {
 }  // namespace
 
 RStarTree::RStarTree() {
-  root_ = pager_.Allocate();
+  root_ = pager_->Allocate();
   Node leaf;
   leaf.level = 0;
   storage::Page page;
   leaf.ToPage(&page);
-  CONN_CHECK(pager_.Write(root_, page).ok());
+  CONN_CHECK(pager_->Write(root_, page).ok());
+}
+
+StatusOr<ConstNodeRef> RStarTree::FetchNode(storage::PageId id) const {
+  StatusOr<storage::PinnedPage> pinned = pager_->Fetch(id);
+  if (!pinned.ok()) return pinned.status();
+  storage::PinnedPage& pp = pinned.value();
+  if (const std::shared_ptr<const void>& cached = pp.decoded()) {
+    // Buffer hit on an already-parsed node: zero copies, zero parsing.
+    return std::static_pointer_cast<const Node>(cached);
+  }
+  auto node = std::make_shared<Node>();
+  node->AssignFromPage(pp.page());
+  ConstNodeRef ref = std::move(node);
+  pp.SetDecoded(ref);  // no-op when unbuffered — nowhere to cache
+  return ref;
 }
 
 Status RStarTree::ReadNode(storage::PageId id, Node* out) const {
-  storage::Page page;
-  CONN_RETURN_IF_ERROR(pager_.Read(id, &page));
-  *out = Node::FromPage(page);
+  StatusOr<storage::PinnedPage> pinned = pager_->Fetch(id);
+  if (!pinned.ok()) return pinned.status();
+  const storage::PinnedPage& pp = pinned.value();
+  if (const std::shared_ptr<const void>& cached = pp.decoded()) {
+    *out = *std::static_pointer_cast<const Node>(cached);  // skip re-parse
+  } else {
+    out->AssignFromPage(pp.page());
+  }
   return Status::OK();
 }
 
 Status RStarTree::WriteNode(storage::PageId id, const Node& node) {
   storage::Page page;
   node.ToPage(&page);
-  return pager_.Write(id, page);
+  return pager_->Write(id, page);
 }
 
 geom::Rect RStarTree::Bounds() const {
-  Node root;
-  if (!ReadNode(root_, &root).ok()) return geom::Rect::Empty();
-  return root.ComputeBounds();
+  StatusOr<ConstNodeRef> root = FetchNode(root_);
+  if (!root.ok()) return geom::Rect::Empty();
+  return root.value()->ComputeBounds();
 }
 
 Status RStarTree::ChoosePath(const geom::Rect& rect, uint16_t target_level,
@@ -279,7 +299,7 @@ Status RStarTree::InsertEntry(const NodeEntry& entry, uint16_t level,
     // --- split ---
     Node right;
     SplitNode(&path[i].node, &right);
-    const storage::PageId right_id = pager_.Allocate();
+    const storage::PageId right_id = pager_->Allocate();
     CONN_RETURN_IF_ERROR(WriteNode(right_id, right));
     CONN_RETURN_IF_ERROR(WriteNode(path[i].page_id, path[i].node));
 
@@ -295,7 +315,7 @@ Status RStarTree::InsertEntry(const NodeEntry& entry, uint16_t level,
       left_entry.rect = path[i].node.ComputeBounds();
       left_entry.payload = path[i].page_id;
       new_root.entries = {left_entry, right_entry};
-      const storage::PageId new_root_id = pager_.Allocate();
+      const storage::PageId new_root_id = pager_->Allocate();
       CONN_RETURN_IF_ERROR(WriteNode(new_root_id, new_root));
       root_ = new_root_id;
       ++height_;
@@ -330,8 +350,9 @@ namespace {
 Status FindLeafRec(const RStarTree& tree, storage::PageId page_id,
                    const NodeEntry& target, std::vector<storage::PageId>* path,
                    bool* found) {
-  Node node;
-  CONN_RETURN_IF_ERROR(tree.ReadNode(page_id, &node));
+  StatusOr<ConstNodeRef> ref = tree.FetchNode(page_id);
+  if (!ref.ok()) return ref.status();
+  const Node& node = *ref.value();
   path->push_back(page_id);
   if (node.IsLeaf()) {
     for (const NodeEntry& e : node.entries) {
@@ -355,8 +376,9 @@ Status FindLeafRec(const RStarTree& tree, storage::PageId page_id,
 /// Collects every leaf-level entry below \p page_id.
 Status CollectLeafEntries(const RStarTree& tree, storage::PageId page_id,
                           std::vector<NodeEntry>* out) {
-  Node node;
-  CONN_RETURN_IF_ERROR(tree.ReadNode(page_id, &node));
+  StatusOr<ConstNodeRef> ref = tree.FetchNode(page_id);
+  if (!ref.ok()) return ref.status();
+  const Node& node = *ref.value();
   if (node.IsLeaf()) {
     out->insert(out->end(), node.entries.begin(), node.entries.end());
     return Status::OK();
@@ -456,8 +478,9 @@ Status RStarTree::RangeQuery(const geom::Rect& range,
   while (!stack.empty()) {
     const storage::PageId id = stack.back();
     stack.pop_back();
-    Node node;
-    CONN_RETURN_IF_ERROR(ReadNode(id, &node));
+    StatusOr<ConstNodeRef> ref = FetchNode(id);
+    if (!ref.ok()) return ref.status();
+    const Node& node = *ref.value();
     for (const NodeEntry& e : node.entries) {
       if (!e.rect.Intersects(range)) continue;
       if (node.IsLeaf()) {
@@ -477,8 +500,9 @@ Status RStarTree::SegmentIntersectionQuery(const geom::Segment& s,
   while (!stack.empty()) {
     const storage::PageId id = stack.back();
     stack.pop_back();
-    Node node;
-    CONN_RETURN_IF_ERROR(ReadNode(id, &node));
+    StatusOr<ConstNodeRef> ref = FetchNode(id);
+    if (!ref.ok()) return ref.status();
+    const Node& node = *ref.value();
     for (const NodeEntry& e : node.entries) {
       if (!geom::SegmentIntersectsRect(s, e.rect)) continue;
       if (node.IsLeaf()) {
@@ -494,8 +518,9 @@ Status RStarTree::SegmentIntersectionQuery(const geom::Segment& s,
 Status RStarTree::ValidateRec(storage::PageId id, uint16_t expected_level,
                               const geom::Rect* parent_rect, bool is_root,
                               size_t* object_count) const {
-  Node node;
-  CONN_RETURN_IF_ERROR(ReadNode(id, &node));
+  StatusOr<ConstNodeRef> ref = FetchNode(id);
+  if (!ref.ok()) return ref.status();
+  const Node& node = *ref.value();
   if (node.level != expected_level) {
     return Status::Corruption("level mismatch");
   }

@@ -15,13 +15,20 @@
 //     (best_first.h) as companions.
 //
 // All node accesses go through the Pager, so every traversal is charged
-// page faults under the paper's I/O model and can be run with an LRU buffer
-// of any capacity (Figure 12's experiment).
+// page faults under the paper's I/O model and can be run with a buffer pool
+// of any capacity and policy (Figure 12's experiment).  Read traversals use
+// FetchNode(), which pins the page in the pool and returns a shared ref to
+// the frame's cached deserialization — hot nodes are parsed once per
+// residency and never copied.  The Pager itself lives behind a stable heap
+// handle: moving a tree (bulk-load returns by value) relocates only the
+// handle, never the frame table, latches, or counters that in-flight
+// readers may reference.
 
 #ifndef CONN_RTREE_RSTAR_TREE_H_
 #define CONN_RTREE_RSTAR_TREE_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
@@ -64,14 +71,22 @@ class RStarTree {
   /// Bounding rectangle of the whole tree (Empty() when no objects).
   geom::Rect Bounds() const;
 
-  /// Page accessor — configure the LRU buffer and read fault counters here.
-  storage::Pager& pager() const { return pager_; }
+  /// Page accessor — configure the buffer pool and read fault counters
+  /// here.  The Pager has a stable address for the tree's lifetime (moves
+  /// of the tree only re-seat the owning handle).
+  storage::Pager& pager() const { return *pager_; }
 
   /// Number of pages the tree occupies (the "tree size" for Figure 12's
   /// buffer percentages).
-  size_t PageCount() const { return pager_.PageCount(); }
+  size_t PageCount() const { return pager_->PageCount(); }
 
-  /// Reads and deserializes a node page (counted through the Pager).
+  /// Fetches a node through the buffer pool without copying: the returned
+  /// ref aliases the frame's decoded-node cache (parsed at most once per
+  /// residency of the page).  The ref stays valid after eviction.
+  StatusOr<ConstNodeRef> FetchNode(storage::PageId id) const;
+
+  /// Reads a node into caller-owned (mutable) storage — the insertion and
+  /// deletion paths use this; read-only traversals prefer FetchNode().
   Status ReadNode(storage::PageId id, Node* out) const;
 
   /// All objects whose rect intersects \p range.
@@ -119,7 +134,10 @@ class RStarTree {
                      const geom::Rect* parent_rect, bool is_root,
                      size_t* object_count) const;
 
-  mutable storage::Pager pager_;  // reads are logically const
+  // Stable handle: the Pager (frame table, latches, counters) never moves
+  // even when the tree object does.
+  std::unique_ptr<storage::Pager> pager_ =
+      std::make_unique<storage::Pager>();
   storage::PageId root_ = storage::kInvalidPageId;
   size_t height_ = 1;
   size_t size_ = 0;

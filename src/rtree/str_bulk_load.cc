@@ -37,7 +37,7 @@ class StrBulkLoader {
         Node root;
         root.level = level;
         root.entries = std::move(level_entries);
-        const storage::PageId root_id = tree.pager_.Allocate();
+        const storage::PageId root_id = tree.pager_->Allocate();
         CONN_RETURN_IF_ERROR(tree.WriteNode(root_id, root));
         tree.root_ = root_id;
         tree.height_ = static_cast<size_t>(level) + 1;
@@ -100,7 +100,7 @@ class StrBulkLoader {
         node.level = level;
         node.entries.assign(entries->begin() + local,
                             entries->begin() + local + sz);
-        const storage::PageId id = tree->pager_.Allocate();
+        const storage::PageId id = tree->pager_->Allocate();
         CONN_RETURN_IF_ERROR(tree->WriteNode(id, node));
         NodeEntry parent;
         parent.rect = node.ComputeBounds();

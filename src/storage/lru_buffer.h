@@ -1,5 +1,12 @@
-// LRU page buffer.  Capacity is configured in pages; the buffer-size
-// experiment (Figure 12) expresses it as a percentage of the tree size.
+// LRU page buffer — the seed buffer manager, kept as the *reference model*
+// for the buffer pool's exact-LRU mode.  The production read path lives in
+// buffer_pool.h / pager.h; this class is only used by property tests that
+// replay randomized traces against both implementations and assert the
+// hit/miss sequence and resident set match bit-for-bit (which is what makes
+// the committed Fig. 12 fault counts reproducible).
+//
+// Capacity is configured in pages; the buffer-size experiment (Figure 12)
+// expresses it as a percentage of the tree size.
 
 #ifndef CONN_STORAGE_LRU_BUFFER_H_
 #define CONN_STORAGE_LRU_BUFFER_H_
@@ -28,6 +35,9 @@ class LruBuffer {
   /// Looks up \p id; on hit copies the page into \p out, promotes it to
   /// most-recently-used, and returns true.
   bool Get(PageId id, Page* out);
+
+  /// Residency probe without an LRU touch (for trace-equivalence tests).
+  bool Contains(PageId id) const { return map_.count(id) > 0; }
 
   /// Inserts or refreshes \p id as most-recently-used (no-op if capacity 0).
   void Put(PageId id, const Page& page);

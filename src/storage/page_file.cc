@@ -8,13 +8,20 @@ PageId PageFile::Allocate() {
   return static_cast<PageId>(pages_.size() - 1);
 }
 
-Status PageFile::Read(PageId id, Page* out) const {
+Status PageFile::View(PageId id, const Page** out) const {
   if (id >= pages_.size()) {
-    return Status::NotFound("PageFile::Read: page " + std::to_string(id) +
+    return Status::NotFound("PageFile::View: page " + std::to_string(id) +
                             " not allocated");
   }
   device_reads_.fetch_add(1, std::memory_order_relaxed);
-  *out = *pages_[id];
+  *out = pages_[id].get();
+  return Status::OK();
+}
+
+Status PageFile::Read(PageId id, Page* out) const {
+  const Page* view = nullptr;
+  CONN_RETURN_IF_ERROR(View(id, &view));
+  *out = *view;
   return Status::OK();
 }
 

@@ -3,33 +3,52 @@
 namespace conn {
 namespace storage {
 
-Status Pager::Read(PageId id, Page* out) {
-  // Capacity is fixed while queries run, so reading it unlocked is safe;
-  // the unbuffered configuration (the paper's default) takes no lock at
-  // all — PageFile reads are immutable-state lookups.
-  if (buffer_.capacity() > 0) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (buffer_.Get(id, out)) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
-        return Status::OK();
-      }
-    }
-    CONN_RETURN_IF_ERROR(file_.Read(id, out));
+StatusOr<PinnedPage> Pager::Fetch(PageId id) {
+  if (pool_.capacity() == 0) {
+    // Unbuffered (the paper's default configuration): every read faults and
+    // the view aliases the file's stable page storage — no copy at all.
+    const Page* view = nullptr;
+    CONN_RETURN_IF_ERROR(file_.View(id, &view));
     faults_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu_);
-    buffer_.Put(id, *out);
-    return Status::OK();
+    return PinnedPage::Direct(id, view);
   }
-  CONN_RETURN_IF_ERROR(file_.Read(id, out));
+
+  PinnedPage out;
+  if (pool_.TryGet(id, &out)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return out;
+  }
+
+  const Page* src = nullptr;
+  CONN_RETURN_IF_ERROR(file_.View(id, &src));
   faults_.fetch_add(1, std::memory_order_relaxed);
-  return Status::OK();
+  if (!pool_.Insert(id, *src, &out)) {
+    // Every candidate frame is pinned: serve a handle-owned copy without
+    // caching it (and skip readahead — further staging attempts would
+    // burn device reads against the same pinned-full pool).  Rare — it
+    // takes as many concurrently pinned pages as the pool has frames.
+    return PinnedPage::Overflow(id, *src);
+  }
+
+  // Optional readahead: stage the immediately following ids (STR bulk
+  // loading lays a level's siblings out contiguously).  Staged pages count
+  // device reads, not faults; a later demand access counts a hit as the
+  // page's *first* reference (no scan-resistance bypass).
+  const size_t ra = pool_.options().readahead_pages;
+  for (size_t i = 1; i <= ra; ++i) {
+    const PageId next = id + static_cast<PageId>(i);
+    if (next >= file_.PageCount()) break;
+    if (pool_.Resident(next)) continue;
+    const Page* ra_src = nullptr;
+    if (!file_.View(next, &ra_src).ok()) break;
+    if (!pool_.Insert(next, *ra_src, /*out=*/nullptr)) break;
+  }
+  return out;
 }
 
 Status Pager::Write(PageId id, const Page& page) {
   CONN_RETURN_IF_ERROR(file_.Write(id, page));
-  std::lock_guard<std::mutex> lock(mu_);
-  buffer_.Put(id, page);
+  pool_.PutForWrite(id, page);
   return Status::OK();
 }
 

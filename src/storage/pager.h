@@ -1,23 +1,32 @@
 // Pager: the access path every R-tree node read goes through.  Combines the
-// simulated disk (PageFile) with an optional LRU buffer and maintains the
-// fault/hit counters that drive the paper's I/O metric (10 ms per fault).
+// simulated disk (PageFile) with the pin/unpin buffer pool (buffer_pool.h)
+// and maintains the fault/hit counters that drive the paper's I/O metric
+// (10 ms per fault).
 //
-// Concurrent Read()s from several query threads (the batch executor's
-// shards) are safe: the counters are atomic and the shared LRU state is
-// mutex-guarded.  With buffering disabled (capacity 0 — the paper's default
-// configuration) reads bypass the lock entirely.  Structural mutation
-// (Allocate / Write / SetBufferCapacity) and moves remain single-threaded
-// operations: trees are built before queries run against them.
+// The read API is pin-based: Fetch() returns a PinnedPage view that borrows
+// frame (or, unbuffered, file) memory — there is no page memcpy on a buffer
+// hit, and the old copy-out Read(PageId, Page*) no longer exists.  Counter
+// semantics are unchanged from the seed implementation: a Fetch that finds
+// the page resident counts one hit, anything else counts one fault, and
+// with buffering disabled (capacity 0, the paper's default configuration)
+// every Fetch faults.
+//
+// Concurrent Fetch()es from several query threads (the batch executor's
+// shards) are safe: counters are atomic and the pool takes per-shard
+// latches.  Structural mutation (Allocate / Write / ConfigureBuffer) is a
+// single-threaded operation: trees are built before queries run against
+// them.  A Pager is pinned in place (non-copyable, non-movable) — owners
+// hold it behind a stable handle (see RStarTree) so in-flight pins and
+// counter readers never observe a relocation.
 
 #ifndef CONN_STORAGE_PAGER_H_
 #define CONN_STORAGE_PAGER_H_
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
 #include "common/status.h"
-#include "storage/lru_buffer.h"
+#include "storage/buffer_pool.h"
 #include "storage/page_file.h"
 
 namespace conn {
@@ -30,25 +39,8 @@ class Pager {
 
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
-
-  // Moves transfer the counters; they must not race concurrent access
-  // (only tree construction moves pagers).
-  Pager(Pager&& other) noexcept
-      : file_(std::move(other.file_)),
-        buffer_(std::move(other.buffer_)),
-        faults_(other.faults_.load(std::memory_order_relaxed)),
-        hits_(other.hits_.load(std::memory_order_relaxed)) {}
-  Pager& operator=(Pager&& other) noexcept {
-    if (this != &other) {
-      file_ = std::move(other.file_);
-      buffer_ = std::move(other.buffer_);
-      faults_.store(other.faults_.load(std::memory_order_relaxed),
-                    std::memory_order_relaxed);
-      hits_.store(other.hits_.load(std::memory_order_relaxed),
-                  std::memory_order_relaxed);
-    }
-    return *this;
-  }
+  Pager(Pager&&) = delete;
+  Pager& operator=(Pager&&) = delete;
 
   /// Allocates a fresh zeroed page on the underlying file.
   PageId Allocate() { return file_.Allocate(); }
@@ -56,34 +48,58 @@ class Pager {
   /// Number of pages in the underlying file (the "tree size" in pages).
   size_t PageCount() const { return file_.PageCount(); }
 
-  /// Reads page \p id through the buffer.  A miss counts one fault.
-  /// Thread-safe against concurrent Read()s.
-  Status Read(PageId id, Page* out);
+  /// Pins page \p id and returns a borrowed view of its bytes.  A resident
+  /// page counts one hit (zero copies); a miss counts one fault and stages
+  /// the page into the pool (plus optional readahead of the following STR
+  /// sibling pages).  Thread-safe against concurrent Fetch()es.
+  StatusOr<PinnedPage> Fetch(PageId id);
 
-  /// Writes page \p id through to the file and refreshes the buffer.
+  /// Writes page \p id through to the file and refreshes the pool.
   Status Write(PageId id, const Page& page);
 
-  /// Sets the LRU buffer capacity in pages (0 disables buffering, the
-  /// default configuration of the paper's experiments).  Not thread-safe
-  /// against in-flight reads.
-  void SetBufferCapacity(size_t pages) { buffer_.SetCapacity(pages); }
-
-  /// Drops buffered pages without changing capacity.
-  void ClearBuffer() {
-    std::lock_guard<std::mutex> lock(mu_);
-    buffer_.Clear();
+  /// Reconfigures the buffer pool (capacity, eviction policy, readahead),
+  /// dropping all cached pages.  Not thread-safe against in-flight reads;
+  /// requires that no pins are live.
+  void ConfigureBuffer(const BufferOptions& options) {
+    pool_.Configure(options);
   }
 
-  /// Page faults (buffer misses) since construction.
+  /// Sets the buffer capacity in pages (0 disables buffering, the default
+  /// configuration of the paper's experiments), keeping the current policy
+  /// and readahead settings.  Drops cached pages; see ConfigureBuffer().
+  void SetBufferCapacity(size_t pages) {
+    BufferOptions opts = pool_.options();
+    opts.capacity_pages = pages;
+    pool_.Configure(opts);
+  }
+
+  /// Drops buffered pages (and 2Q ghost history) without changing the
+  /// configuration.  Requires that no pins are live.
+  void ClearBuffer() { pool_.Clear(); }
+
+  /// Zeroes the fault/hit counters — warm-up phases call this so the
+  /// measured half of a workload starts from a clean slate.  Device-level
+  /// counters (PageFile) are not affected.
+  void ResetCounters() {
+    faults_.store(0, std::memory_order_relaxed);
+    hits_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Page faults (buffer misses) since construction / ResetCounters().
   uint64_t faults() const { return faults_.load(std::memory_order_relaxed); }
 
-  /// Buffer hits since construction.
+  /// Buffer hits since construction / ResetCounters().
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+
+  /// The pool, for configuration inspection and tests.
+  BufferPool& buffer_pool() { return pool_; }
+
+  /// The backing file, for device-level counters.
+  const PageFile& file() const { return file_; }
 
  private:
   PageFile file_;
-  LruBuffer buffer_;
-  std::mutex mu_;  // guards buffer_ contents (LRU order + map)
+  BufferPool pool_;
   std::atomic<uint64_t> faults_{0};
   std::atomic<uint64_t> hits_{0};
 };

@@ -1,8 +1,11 @@
-// Unit tests for the paged storage layer: PageFile, LruBuffer, and the
-// Pager's fault accounting (the basis of the paper's I/O metric).
+// Unit tests for the paged storage layer: PageFile, the LruBuffer reference
+// model, and the Pager's pin-based fetch path and fault accounting (the
+// basis of the paper's I/O metric).  Buffer-pool eviction/pinning property
+// tests live in buffer_pool_test.cc.
 
 #include <gtest/gtest.h>
 
+#include "storage/buffer_pool.h"
 #include "storage/lru_buffer.h"
 #include "storage/page_file.h"
 #include "storage/pager.h"
@@ -94,26 +97,51 @@ TEST(LruBufferTest, ShrinkEvicts) {
   EXPECT_TRUE(buf.Get(3, &p));  // most recent survives
 }
 
-TEST(PagerTest, UnbufferedEveryReadFaults) {
+TEST(PagerTest, UnbufferedEveryFetchFaults) {
   Pager pager;  // capacity 0 by default (paper's default configuration)
   const PageId id = pager.Allocate();
   Page p;
+  p.WriteAt<int>(0, 77);
   ASSERT_TRUE(pager.Write(id, p).ok());
-  for (int i = 0; i < 5; ++i) ASSERT_TRUE(pager.Read(id, &p).ok());
+  for (int i = 0; i < 5; ++i) {
+    StatusOr<PinnedPage> view = pager.Fetch(id);
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(view.value().page().ReadAt<int>(0), 77);
+  }
   EXPECT_EQ(pager.faults(), 5u);
   EXPECT_EQ(pager.hits(), 0u);
 }
 
-TEST(PagerTest, BufferedRepeatReadsHit) {
+TEST(PagerTest, FetchOutOfRangeIsNotFound) {
+  Pager pager;
+  EXPECT_EQ(pager.Fetch(3).status().code(), StatusCode::kNotFound);
+}
+
+TEST(PagerTest, BufferedRepeatFetchesHit) {
   Pager pager;
   pager.SetBufferCapacity(8);
   const PageId id = pager.Allocate();
   Page p;
   ASSERT_TRUE(pager.Write(id, p).ok());
-  for (int i = 0; i < 5; ++i) ASSERT_TRUE(pager.Read(id, &p).ok());
-  // The write primed the buffer, so every read hits.
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(pager.Fetch(id).ok());
+  // The write primed the buffer, so every fetch hits.
   EXPECT_EQ(pager.faults(), 0u);
   EXPECT_EQ(pager.hits(), 5u);
+}
+
+TEST(PagerTest, HitsBorrowFrameMemoryWithoutCopy) {
+  Pager pager;
+  pager.SetBufferCapacity(4);
+  const PageId id = pager.Allocate();
+  Page p;
+  p.WriteAt<int>(0, 5);
+  ASSERT_TRUE(pager.Write(id, p).ok());
+  StatusOr<PinnedPage> a = pager.Fetch(id);
+  StatusOr<PinnedPage> b = pager.Fetch(id);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Both handles alias the same frame — the hit path never copies a page.
+  EXPECT_EQ(&a.value().page(), &b.value().page());
+  EXPECT_EQ(pager.buffer_pool().PinnedFrames(), 1u);
 }
 
 TEST(PagerTest, ClearBufferForcesRefault) {
@@ -123,9 +151,28 @@ TEST(PagerTest, ClearBufferForcesRefault) {
   Page p;
   ASSERT_TRUE(pager.Write(id, p).ok());
   pager.ClearBuffer();
-  ASSERT_TRUE(pager.Read(id, &p).ok());
-  ASSERT_TRUE(pager.Read(id, &p).ok());
+  ASSERT_TRUE(pager.Fetch(id).ok());
+  ASSERT_TRUE(pager.Fetch(id).ok());
   EXPECT_EQ(pager.faults(), 1u);
+  EXPECT_EQ(pager.hits(), 1u);
+}
+
+TEST(PagerTest, ResetCountersZeroesFaultsAndHits) {
+  Pager pager;
+  pager.SetBufferCapacity(2);
+  const PageId id = pager.Allocate();
+  Page p;
+  ASSERT_TRUE(pager.Write(id, p).ok());
+  ASSERT_TRUE(pager.Fetch(id).ok());
+  pager.ClearBuffer();
+  ASSERT_TRUE(pager.Fetch(id).ok());
+  EXPECT_EQ(pager.faults(), 1u);
+  EXPECT_EQ(pager.hits(), 1u);
+  pager.ResetCounters();
+  EXPECT_EQ(pager.faults(), 0u);
+  EXPECT_EQ(pager.hits(), 0u);
+  ASSERT_TRUE(pager.Fetch(id).ok());  // resident from before the reset
+  EXPECT_EQ(pager.faults(), 0u);
   EXPECT_EQ(pager.hits(), 1u);
 }
 
@@ -138,9 +185,57 @@ TEST(PagerTest, WriteThroughKeepsCacheCoherent) {
   ASSERT_TRUE(pager.Write(id, p).ok());
   p.WriteAt<int>(0, 2);
   ASSERT_TRUE(pager.Write(id, p).ok());
-  Page q;
-  ASSERT_TRUE(pager.Read(id, &q).ok());
-  EXPECT_EQ(q.ReadAt<int>(0), 2);
+  StatusOr<PinnedPage> view = pager.Fetch(id);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view.value().page().ReadAt<int>(0), 2);
+}
+
+TEST(PagerTest, WriteDropsDecodedObject) {
+  Pager pager;
+  pager.SetBufferCapacity(2);
+  const PageId id = pager.Allocate();
+  Page p;
+  ASSERT_TRUE(pager.Write(id, p).ok());
+  {
+    StatusOr<PinnedPage> view = pager.Fetch(id);
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(view.value().decoded(), nullptr);
+    view.value().SetDecoded(std::make_shared<int>(41));
+  }
+  {
+    // The decoded object survives while the page stays resident...
+    StatusOr<PinnedPage> view = pager.Fetch(id);
+    ASSERT_TRUE(view.ok());
+    ASSERT_NE(view.value().decoded(), nullptr);
+    EXPECT_EQ(*std::static_pointer_cast<const int>(view.value().decoded()),
+              41);
+  }
+  ASSERT_TRUE(pager.Write(id, p).ok());
+  {
+    // ...but a write invalidates it: the bytes may no longer match.
+    StatusOr<PinnedPage> view = pager.Fetch(id);
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(view.value().decoded(), nullptr);
+  }
+}
+
+TEST(PagerTest, ReadaheadStagesFollowingPagesWithoutFaults) {
+  Pager pager;
+  for (int i = 0; i < 16; ++i) pager.Allocate();
+  BufferOptions opts;
+  opts.capacity_pages = 8;
+  opts.readahead_pages = 3;
+  pager.ConfigureBuffer(opts);
+  ASSERT_TRUE(pager.Fetch(0).ok());
+  // The demand miss faulted once but staged pages 1..3 as device reads.
+  EXPECT_EQ(pager.faults(), 1u);
+  EXPECT_EQ(pager.file().device_reads(), 4u);
+  for (PageId id = 1; id <= 3; ++id) ASSERT_TRUE(pager.Fetch(id).ok());
+  EXPECT_EQ(pager.faults(), 1u);
+  EXPECT_EQ(pager.hits(), 3u);
+  // Readahead stops at the end of the file.
+  ASSERT_TRUE(pager.Fetch(15).ok());
+  EXPECT_EQ(pager.faults(), 2u);
 }
 
 }  // namespace

@@ -1,0 +1,37 @@
+// Shared helpers for the storage-layer test suites: pages stamped with an
+// id-derived pattern so eviction/pin races that serve wrong or torn bytes
+// are detectable by content.
+
+#ifndef CONN_TESTS_STORAGE_TEST_UTIL_H_
+#define CONN_TESTS_STORAGE_TEST_UTIL_H_
+
+#include "storage/page.h"
+
+namespace conn {
+namespace storage {
+
+/// Stamps a page with a pattern derived from \p id for integrity checks.
+inline Page StampedPage(PageId id) {
+  Page p;
+  for (size_t off = 0; off + sizeof(uint64_t) <= kPageSize;
+       off += sizeof(uint64_t)) {
+    p.WriteAt<uint64_t>(off, (static_cast<uint64_t>(id) << 32) ^ off);
+  }
+  return p;
+}
+
+/// True iff \p p carries exactly the stamp StampedPage(\p id) wrote.
+inline bool PageMatchesStamp(const Page& p, PageId id) {
+  for (size_t off = 0; off + sizeof(uint64_t) <= kPageSize;
+       off += sizeof(uint64_t)) {
+    if (p.ReadAt<uint64_t>(off) != ((static_cast<uint64_t>(id) << 32) ^ off)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace storage
+}  // namespace conn
+
+#endif  // CONN_TESTS_STORAGE_TEST_UTIL_H_
