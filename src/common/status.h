@@ -24,7 +24,10 @@ enum class StatusCode {
 };
 
 /// Lightweight success-or-error result. Cheap to copy when OK (no allocation).
-class Status {
+/// [[nodiscard]]: silently dropping an error Status is how storage bugs
+/// hide — call sites must consume it, CONN_CHECK it, or cast to void with
+/// a comment saying why the drop is sound.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -63,7 +66,7 @@ class Status {
 
 /// A value or an error. `value()` CHECK-fails on error; test `ok()` first.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status s) : status_(std::move(s)) {  // NOLINT implicit
     CONN_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");

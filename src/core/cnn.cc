@@ -28,7 +28,7 @@ ConnResult CnnQuery(const rtree::RStarTree& data_tree, const geom::Segment& q,
   ResultList rl(reachable);
   rtree::BestFirstIterator points(data_tree, q);
   rtree::DataObject obj;
-  double dist;
+  double dist = 0.0;
   while (true) {
     const double peek = points.PeekDist();
     if (peek == kInf) break;

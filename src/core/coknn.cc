@@ -272,7 +272,7 @@ CoknnResult RunCoknn(const geom::Segment& q, size_t k,
   VisibleRegionCache vr_cache;
   double retrieved = 0.0;
   rtree::DataObject obj;
-  double dist;
+  double dist = 0.0;
   while (true) {
     const double bound = opts.use_rlmax_terminate ? rl.RlMax(frame) : kInf;
     const StreamOutcome outcome = next_point(bound, &obj, &dist);

@@ -49,7 +49,7 @@ ConnResult DegenerateConn(const rtree::RStarTree& data_tree,
 
   rtree::BestFirstIterator points(data_tree, q);
   rtree::DataObject obj;
-  double dist;
+  double dist = 0.0;
   while (points.PeekDist() < best) {
     CONN_CHECK(points.Next(&obj, &dist));
     // In the 1-tree configuration the same tree also yields obstacles.
@@ -158,7 +158,7 @@ ConnResult ConnQuery(const rtree::RStarTree& data_tree,
     VisibleRegionCache vr_cache;
     double retrieved = 0.0;
     rtree::DataObject obj;
-    double dist;
+    double dist = 0.0;
     while (true) {
       const double peek = points.PeekDist();
       if (peek == kInf) break;
@@ -226,7 +226,7 @@ ConnResult ConnQuery1T(const rtree::RStarTree& unified_tree,
     VisibleRegionCache vr_cache;
     double retrieved = 0.0;
     rtree::DataObject obj;
-    double dist;
+    double dist = 0.0;
     while (true) {
       const double bound =
           opts.use_rlmax_terminate ? rl.RlMax(frame) : kInf;

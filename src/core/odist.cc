@@ -30,7 +30,7 @@ bool UnifiedStream::NextObstacleWithin(double bound, rtree::DataObject* out,
                                        double* dist) {
   while (it_.PeekDist() <= bound) {
     rtree::DataObject obj;
-    double d;
+    double d = 0.0;
     if (!it_.Next(&obj, &d)) return false;  // exhausted (bound may be +inf)
     retrieved_up_to_ = std::max(retrieved_up_to_, d);
     if (obj.kind == rtree::ObjectKind::kObstacle) {
@@ -69,7 +69,7 @@ StreamOutcome UnifiedStream::NextPointWithin(double bound,
     }
     if (peek > bound) return StreamOutcome::kBoundReached;
     rtree::DataObject obj;
-    double d;
+    double d = 0.0;
     CONN_CHECK(it_.Next(&obj, &d));  // finite peek => an object exists
     retrieved_up_to_ = std::max(retrieved_up_to_, d);
     if (obj.kind == rtree::ObjectKind::kPoint) {
@@ -113,7 +113,7 @@ double IncrementalObstacleRetrieval(
 
     bool fetched = false;
     rtree::DataObject obstacle;
-    double obstacle_dist;
+    double obstacle_dist = 0.0;
     while (source->NextObstacleWithin(d, &obstacle, &obstacle_dist)) {
       // On a shard-shared graph the obstacle may already be present
       // (AddObstacle returns false); only a real insertion invalidates the

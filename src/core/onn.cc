@@ -45,7 +45,7 @@ OnnResult OnnQuery(const rtree::RStarTree& data_tree,
   rtree::BestFirstIterator points(data_tree, q);
   double retrieved = 0.0;
   rtree::DataObject obj;
-  double dist;
+  double dist = 0.0;
   // Termination here is the plain k-th-bound cutoff; ONN keeps no
   // lemma2_terminations statistic, so the bound-vs-exhaustion distinction
   // the segment engines draw (StreamOutcome) does not apply.

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 #include <thread>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/timer.h"
 #include "core/workspace.h"
 #include "exec/sharder.h"
@@ -106,7 +106,7 @@ BatchResult BatchRunner::Run(const std::vector<BatchQuery>& queries) const {
           : kSpacingFloorFactor *
                 ObstacleSpacing(obstacles_ != nullptr ? *obstacles_ : *data_);
 
-  std::mutex stats_mu;
+  Mutex stats_mu;
   auto run_shard = [&](const std::vector<size_t>& shard) {
     std::optional<core::QueryWorkspace> workspace;
     if (opts_.share_workspace) {
@@ -136,7 +136,7 @@ BatchResult BatchRunner::Run(const std::vector<BatchQuery>& queries) const {
         shard_totals += out.coknn->stats;
       }
     }
-    std::lock_guard<std::mutex> lock(stats_mu);
+    MutexLock lock(stats_mu);
     result.stats.per_query_totals += shard_totals;
     if (workspace) {
       result.stats.obstacle_reuse_hits += workspace->ObstacleReuseHits();

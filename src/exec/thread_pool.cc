@@ -1,6 +1,7 @@
 #include "exec/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace conn {
 namespace exec {
@@ -15,31 +16,33 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  idle_.Wait(mu_, [this]() REQUIRES(mu_) {
+    return queue_.empty() && active_ == 0;
+  });
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
-    work_available_.wait(lock,
-                         [this] { return shutdown_ || !queue_.empty(); });
+    work_available_.Wait(
+        mu_, [this]() REQUIRES(mu_) { return shutdown_ || !queue_.empty(); });
     if (queue_.empty()) {
       if (shutdown_) return;
       continue;
@@ -47,11 +50,11 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
     ++active_;
-    lock.unlock();
+    lock.Unlock();
     task();
-    lock.lock();
+    lock.Lock();
     --active_;
-    if (queue_.empty() && active_ == 0) idle_.notify_all();
+    if (queue_.empty() && active_ == 0) idle_.NotifyAll();
   }
 }
 

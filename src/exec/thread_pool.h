@@ -8,13 +8,13 @@
 #ifndef CONN_EXEC_THREAD_POOL_H_
 #define CONN_EXEC_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace conn {
 namespace exec {
@@ -33,22 +33,22 @@ class ThreadPool {
 
   /// Enqueues a task.  Tasks must not Submit() to the same pool and then
   /// WaitIdle() on it (trivial deadlock); plain nested Submit is fine.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and every worker is idle.
-  void WaitIdle();
+  void WaitIdle() EXCLUDES(mu_);
 
   size_t thread_count() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  size_t active_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_available_;
+  CondVar idle_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t active_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

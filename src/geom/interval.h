@@ -55,7 +55,15 @@ struct Interval {
 
   std::string ToString() const {
     if (IsEmpty()) return "[]";
-    return "[" + std::to_string(lo) + ", " + std::to_string(hi) + "]";
+    // Built via append: the `"[" + std::to_string(...)` operator+ chain
+    // trips a GCC 12 -Wrestrict false positive (PR105651) inside
+    // libstdc++'s string insert, which the -Werror release build rejects.
+    std::string out = "[";
+    out += std::to_string(lo);
+    out += ", ";
+    out += std::to_string(hi);
+    out += "]";
+    return out;
   }
 };
 

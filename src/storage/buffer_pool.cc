@@ -42,20 +42,25 @@ void BufferPool::Configure(const BufferOptions& options) {
   for (size_t s = 0; s < num_shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
   }
-  for (size_t i = 0; i < cap; ++i) {
-    Shard& sh = *shards_[i % num_shards];
-    ++sh.capacity;
-    PushFront(sh, ListId::kFree, static_cast<uint32_t>(i));
-  }
-  for (auto& sh : shards_) {
-    sh->a1in_target = std::max<size_t>(1, sh->capacity / 4);
+  // Configure is a single-threaded structural operation, but the list
+  // helpers require the shard latch — take it (uncontended) per shard.
+  // Frame i belongs to shard i % num_shards, seeded in ascending i order
+  // (the same per-shard free-list order the interleaved seed loop built).
+  for (size_t s = 0; s < num_shards; ++s) {
+    Shard& sh = *shards_[s];
+    MutexLock lock(sh.mu);
+    for (size_t i = s; i < cap; i += num_shards) {
+      ++sh.capacity;
+      PushFront(sh, ListId::kFree, static_cast<uint32_t>(i));
+    }
+    sh.a1in_target = std::max<size_t>(1, sh.capacity / 4);
   }
 }
 
 void BufferPool::Clear() {
   for (auto& shp : shards_) {
     Shard& sh = *shp;
-    std::lock_guard<std::mutex> lock(sh.mu);
+    MutexLock lock(sh.mu);
     for (const auto& [id, f] : sh.table) {
       CONN_CHECK_MSG(frames_[f].pins.load(std::memory_order_acquire) == 0,
                      "BufferPool::Clear with live pins");
@@ -187,7 +192,7 @@ uint32_t BufferPool::AcquireFrame(Shard& sh) {
 bool BufferPool::TryGet(PageId id, PinnedPage* out) {
   if (capacity() == 0) return false;
   Shard& sh = *shards_[ShardOf(id)];
-  std::lock_guard<std::mutex> lock(sh.mu);
+  MutexLock lock(sh.mu);
   auto it = sh.table.find(id);
   if (it == sh.table.end()) return false;
   const uint32_t f = it->second;
@@ -210,14 +215,15 @@ bool BufferPool::TryGet(PageId id, PinnedPage* out) {
     Unlink(sh, f);
     PushFront(sh, ListId::kAm, f);
   }
-  PinInto(f, id, out);
+  PinInto(sh, f, id, out);
   return true;
 }
 
-void BufferPool::PinInto(uint32_t f, PageId id, PinnedPage* out) {
-  // Caller holds the frame's shard latch: the pin must appear before the
-  // latch is released (eviction checks pins under the same latch), and the
-  // decoded snapshot must be taken atomically with the lookup.
+void BufferPool::PinInto(Shard& sh, uint32_t f, PageId id, PinnedPage* out) {
+  // REQUIRES(sh.mu): the pin must appear before the latch is released
+  // (eviction checks pins under the same latch), and the decoded snapshot
+  // must be taken atomically with the lookup.
+  (void)sh;  // only the capability is consumed
   Frame& frame = frames_[f];
   frame.pins.fetch_add(1, std::memory_order_acq_rel);
   out->Release();
@@ -249,8 +255,8 @@ uint32_t BufferPool::StageFrame(Shard& sh, PageId id, const Page& src) {
 bool BufferPool::Insert(PageId id, const Page& src, PinnedPage* out) {
   if (capacity() == 0) return false;
   Shard& sh = *shards_[ShardOf(id)];
-  std::lock_guard<std::mutex> lock(sh.mu);
-  uint32_t f;
+  MutexLock lock(sh.mu);
+  uint32_t f = kNullFrame;
   auto it = sh.table.find(id);
   if (it != sh.table.end()) {
     // Another thread staged this page between our miss and now; reuse it
@@ -263,7 +269,7 @@ bool BufferPool::Insert(PageId id, const Page& src, PinnedPage* out) {
   }
   if (out != nullptr) {
     frames_[f].prefetched = false;  // demand reference
-    PinInto(f, id, out);
+    PinInto(sh, f, id, out);
   }
   return true;
 }
@@ -271,7 +277,7 @@ bool BufferPool::Insert(PageId id, const Page& src, PinnedPage* out) {
 void BufferPool::PutForWrite(PageId id, const Page& src) {
   if (capacity() == 0) return;
   Shard& sh = *shards_[ShardOf(id)];
-  std::lock_guard<std::mutex> lock(sh.mu);
+  MutexLock lock(sh.mu);
   auto it = sh.table.find(id);
   if (it != sh.table.end()) {
     const uint32_t f = it->second;
@@ -292,14 +298,14 @@ void BufferPool::PutForWrite(PageId id, const Page& src) {
 bool BufferPool::Resident(PageId id) {
   if (capacity() == 0) return false;
   Shard& sh = *shards_[ShardOf(id)];
-  std::lock_guard<std::mutex> lock(sh.mu);
+  MutexLock lock(sh.mu);
   return sh.table.count(id) > 0;
 }
 
 size_t BufferPool::ResidentPages() {
   size_t n = 0;
   for (auto& sh : shards_) {
-    std::lock_guard<std::mutex> lock(sh->mu);
+    MutexLock lock(sh->mu);
     n += sh->table.size();
   }
   return n;
@@ -325,7 +331,7 @@ void BufferPool::InstallDecoded(uint32_t frame,
   // The caller holds a pin, so the frame cannot be evicted or recycled;
   // its page id (and thus its shard) is stable.
   Shard& sh = *shards_[ShardOf(f.page_id)];
-  std::lock_guard<std::mutex> lock(sh.mu);
+  MutexLock lock(sh.mu);
   f.decoded = std::move(obj);
 }
 

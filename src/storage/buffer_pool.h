@@ -39,12 +39,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "storage/page.h"
 
 namespace conn {
@@ -202,6 +202,13 @@ class BufferPool {
   /// Which intrusive list a frame currently sits on.
   enum class ListId : uint8_t { kFree, kA1in, kAm };
 
+  // Every non-atomic Frame field is guarded by the latch of the shard the
+  // frame currently belongs to (frames never migrate between shards).
+  // That relationship is not expressible as a GUARDED_BY annotation —
+  // frames live in one flat vector while the latches live per shard — so
+  // the pin-count atomics carry the cross-shard synchronization and the
+  // REQUIRES(sh.mu) annotations on every helper below keep the latch
+  // discipline machine-checked at the access-path level instead.
   struct Frame {
     Page page;
     PageId page_id = kInvalidPageId;
@@ -224,48 +231,53 @@ class BufferPool {
   };
 
   struct Shard {
-    std::mutex mu;
-    std::unordered_map<PageId, uint32_t> table;
-    List free_list;
-    List a1in;  ///< probationary FIFO (2Q); unused in exact-LRU mode
-    List am;    ///< protected LRU (2Q) / the single LRU list (exact-LRU)
+    Mutex mu;
+    std::unordered_map<PageId, uint32_t> table GUARDED_BY(mu);
+    List free_list GUARDED_BY(mu);
+    List a1in GUARDED_BY(mu);  ///< probationary FIFO (2Q); unused exact-LRU
+    List am GUARDED_BY(mu);    ///< protected LRU (2Q) / the only (exact-LRU)
     // Ghost FIFO of ids recently evicted from A1in (2Q's A1out).  The map
     // is authoritative and holds each id's newest entry sequence; stale
     // FIFO entries (consumed by a ghost hit, or superseded by a re-ghost)
     // are recognized by their mismatching sequence and skipped on trim.
-    std::deque<std::pair<PageId, uint64_t>> ghost_fifo;
-    std::unordered_map<PageId, uint64_t> ghost_map;
-    uint64_t ghost_seq = 0;
-    size_t capacity = 0;      ///< frames owned by this shard
-    size_t a1in_target = 0;   ///< max size of the probationary queue
+    std::deque<std::pair<PageId, uint64_t>> ghost_fifo GUARDED_BY(mu);
+    std::unordered_map<PageId, uint64_t> ghost_map GUARDED_BY(mu);
+    uint64_t ghost_seq GUARDED_BY(mu) = 0;
+    size_t capacity GUARDED_BY(mu) = 0;     ///< frames owned by this shard
+    size_t a1in_target GUARDED_BY(mu) = 0;  ///< max probationary queue size
   };
 
   size_t ShardOf(PageId id) const { return id % shards_.size(); }
-  List& ListFor(Shard& sh, ListId id);
+  List& ListFor(Shard& sh, ListId id) REQUIRES(sh.mu);
 
-  void Unlink(Shard& sh, uint32_t frame);
-  void PushFront(Shard& sh, ListId list, uint32_t frame);
+  void Unlink(Shard& sh, uint32_t frame) REQUIRES(sh.mu);
+  void PushFront(Shard& sh, ListId list, uint32_t frame) REQUIRES(sh.mu);
 
   /// Selects and detaches an unpinned victim frame of \p sh (evicting its
   /// current page, if any, per policy).  kNullFrame if all frames pinned.
-  uint32_t AcquireFrame(Shard& sh);
+  uint32_t AcquireFrame(Shard& sh) REQUIRES(sh.mu);
 
   /// Walks \p list from the tail; detaches and returns the first unpinned
   /// frame, or kNullFrame.  \p to_ghost records the evicted id in A1out.
-  uint32_t EvictFromTail(Shard& sh, ListId list, bool to_ghost);
+  uint32_t EvictFromTail(Shard& sh, ListId list, bool to_ghost)
+      REQUIRES(sh.mu);
 
   /// Copies \p src into a freshly acquired frame of \p sh, registers it
   /// under \p id, and places it on the policy-appropriate list (exact-LRU:
   /// MRU; 2Q: Am on a ghost hit, A1in otherwise).  Shared by the demand
   /// miss, readahead, and write-through paths.  kNullFrame if every
   /// candidate frame is pinned.
-  uint32_t StageFrame(Shard& sh, PageId id, const Page& src);
+  uint32_t StageFrame(Shard& sh, PageId id, const Page& src)
+      REQUIRES(sh.mu);
 
-  void GhostInsert(Shard& sh, PageId id);
+  void GhostInsert(Shard& sh, PageId id) REQUIRES(sh.mu);
 
-  /// Pins frame \p f and seats it into \p out (shared by the hit and miss
-  /// paths).  Must be called under the frame's shard latch.
-  void PinInto(uint32_t f, PageId id, PinnedPage* out);
+  /// Pins frame \p f of \p sh and seats it into \p out (shared by the hit
+  /// and miss paths): the pin must appear before the shard latch is
+  /// released, and the decoded snapshot must be taken atomically with the
+  /// table lookup.
+  void PinInto(Shard& sh, uint32_t f, PageId id, PinnedPage* out)
+      REQUIRES(sh.mu);
 
   void Unpin(uint32_t frame);
   void InstallDecoded(uint32_t frame, std::shared_ptr<const void> obj);

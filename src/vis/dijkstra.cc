@@ -200,9 +200,9 @@ double DijkstraScan::SettleTargets(const std::vector<VertexId>& targets) {
       ++remaining;
     }
   }
-  VertexId v;
-  double d;
-  int32_t pred;
+  VertexId v = 0;
+  double d = 0.0;
+  int32_t pred = kPredNone;
   while (remaining > 0 && Next(&v, &d, &pred)) {
     if (arena_->target_stamp_[v] == mark) {
       arena_->target_stamp_[v] = 0;

@@ -1,0 +1,13 @@
+// MUST NOT COMPILE (-Werror=unused-result): drops the Status returned by
+// PageFile::Write on the floor — the exact silent-error pattern
+// [[nodiscard]] on conn::Status exists to reject.
+
+#include "storage/page_file.h"
+
+int main() {
+  conn::storage::PageFile file;
+  const conn::storage::PageId id = file.Allocate();
+  conn::storage::Page page;
+  file.Write(id, page);  // error: ignoring nodiscard conn::Status
+  return 0;
+}

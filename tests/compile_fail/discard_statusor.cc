@@ -1,0 +1,11 @@
+// MUST NOT COMPILE (-Werror=unused-result): discards the
+// StatusOr<PinnedPage> returned by Pager::Fetch — dropping it loses both
+// the error and the pinned view.
+
+#include "storage/pager.h"
+
+int main() {
+  conn::storage::Pager pager;
+  pager.Fetch(0);  // error: ignoring nodiscard conn::StatusOr<PinnedPage>
+  return 0;
+}

@@ -1,0 +1,13 @@
+// MUST NOT COMPILE (Clang, -Werror=thread-safety): acquires the same
+// SCOPED_CAPABILITY lock twice in one scope — conn::Mutex is not
+// recursive, so this self-deadlocks at runtime; the analysis rejects it
+// statically.
+
+#include "common/mutex.h"
+
+int main() {
+  conn::Mutex mu;
+  conn::MutexLock first(mu);
+  conn::MutexLock second(mu);  // error: acquiring mutex 'mu' already held
+  return 0;
+}

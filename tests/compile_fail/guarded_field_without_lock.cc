@@ -1,0 +1,20 @@
+// MUST NOT COMPILE (Clang, -Werror=thread-safety): reads and writes a
+// GUARDED_BY field without holding its latch — the plain data race the
+// capability analysis turns into a compile error.
+
+#include "common/mutex.h"
+
+namespace {
+
+struct Counter {
+  conn::Mutex mu;
+  int value GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.value = 7;       // error: writing variable 'value' requires holding 'mu'
+  return c.value;    // error: reading variable 'value' requires holding 'mu'
+}

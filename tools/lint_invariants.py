@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant lint — the rules clang-tidy cannot express.
+
+Run from anywhere:  python3 tools/lint_invariants.py  (exits non-zero and
+prints file:line findings when an invariant is violated; CI's `lint` job
+runs it on every push).
+
+Enforced invariants:
+
+  raw-lock      Raw standard-library lock primitives (std::mutex,
+                std::lock_guard, std::unique_lock, std::scoped_lock,
+                std::shared_mutex, std::condition_variable[_any]) are
+                allowed only inside src/common/mutex.h.  Everything else
+                must use the capability-annotated conn::Mutex /
+                conn::MutexLock / conn::CondVar wrappers, or Clang's
+                -Wthread-safety analysis cannot see the lock at all.
+                Applies to src/, tests/, bench/, examples/.
+
+  assert        src/ uses CONN_CHECK / CONN_CHECK_MSG / CONN_DCHECK, never
+                <cassert> assert(): assert vanishes under NDEBUG, so the
+                release build (the config every benchmark and the paper's
+                I/O accounting run under) would silently skip the
+                invariant.  Applies to src/ only (tests use GTest's
+                ASSERT_* family, which is unrelated).
+
+  page-escape   A Page* / Page& may not be bound to a named variable from
+                a PinnedPage::page() call outside src/storage/: the borrow
+                is only valid while the pin is alive, and a named alias is
+                how the pointer outlives the RAII scope.  Engine code
+                passes pp.page() straight into a consumer expression
+                (e.g. AssignFromPage(pp.page())) instead.  Tests under
+                tests/ are exempt — pin-stability tests take addresses on
+                purpose, while the pin is provably held.
+
+  epoch-reset   ScanArena's epoch-stamp arrays (dist_stamp_,
+                settled_stamp_, seeded_stamp_, target_stamp_) are touched
+                only by the arena's own API surface (src/vis/dijkstra.h
+                and .cc, where DijkstraScan is a friend), and are never
+                bulk-reset via .assign()/.clear()/std::fill anywhere:
+                "clearing" stamps is an O(1) epoch bump by design, and an
+                O(V) wipe would silently reintroduce the per-restart cost
+                PR 3 removed.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+CC_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
+
+RAW_LOCK_RE = re.compile(
+    r"std::(mutex|shared_mutex|recursive_mutex|timed_mutex|lock_guard|"
+    r"unique_lock|scoped_lock|shared_lock|condition_variable(_any)?)\b"
+)
+ASSERT_RE = re.compile(r"(^|[^\w.])assert\s*\(|#\s*include\s*<(cassert|assert\.h)>")
+# `Page* p = ...page()` / `const Page& r = ...page()` / `auto* p = &x.page()`
+PAGE_BIND_RE = re.compile(
+    r"(const\s+)?Page\s*[*&]\s*\w+\s*=|auto\s*[*&]?\s*\w+\s*=\s*&[\w.\->()]*page\(\)"
+)
+STAMP_MEMBER_RE = re.compile(
+    r"\b(dist_stamp_|settled_stamp_|seeded_stamp_|target_stamp_)\b"
+)
+STAMP_RESET_RE = re.compile(
+    r"\w*stamp_\w*\.(assign|clear)\s*\(|std::fill\s*\([^)]*stamp_"
+)
+
+STAMP_HOME = {"src/vis/dijkstra.h", "src/vis/dijkstra.cc"}
+
+
+def strip_comments(line: str) -> str:
+    """Drops // comments (enough for these token-level rules)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def iter_sources(*roots: str):
+    for root in roots:
+        base = REPO / root
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in CC_SUFFIXES:
+                yield path
+
+
+def main() -> int:
+    findings: list[str] = []
+
+    seen: set[str] = set()
+
+    def flag(path: Path, lineno: int, rule: str, text: str) -> None:
+        rel = path.relative_to(REPO)
+        entry = f"{rel}:{lineno}: [{rule}] {text.strip()}"
+        if entry not in seen:
+            seen.add(entry)
+            findings.append(entry)
+
+    for path in iter_sources("src", "tests", "bench", "examples"):
+        rel = str(path.relative_to(REPO))
+        in_src = rel.startswith("src/")
+        is_mutex_home = rel == "src/common/mutex.h"
+        is_compile_fail = rel.startswith("tests/compile_fail/")
+        page_rule_applies = in_src and not rel.startswith("src/storage/")
+        stamp_is_home = rel in STAMP_HOME
+
+        for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+            line = strip_comments(raw)
+            if not line.strip():
+                continue
+
+            if not is_mutex_home and RAW_LOCK_RE.search(line):
+                flag(path, lineno, "raw-lock", raw)
+
+            if in_src and ASSERT_RE.search(line):
+                flag(path, lineno, "assert", raw)
+
+            if page_rule_applies and "page()" in line and PAGE_BIND_RE.search(line):
+                flag(path, lineno, "page-escape", raw)
+
+            if not stamp_is_home and not is_compile_fail:
+                if STAMP_MEMBER_RE.search(line):
+                    flag(path, lineno, "epoch-reset", raw)
+            if STAMP_RESET_RE.search(line):
+                flag(path, lineno, "epoch-reset", raw)
+
+    if findings:
+        print(f"lint_invariants: {len(findings)} finding(s)\n")
+        for f in findings:
+            print(f)
+        print(
+            "\nSee tools/lint_invariants.py's docstring for what each rule"
+            " enforces and why."
+        )
+        return 1
+    print("lint_invariants: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
