@@ -55,9 +55,9 @@ const Dataset& GetDataset(datagen::PointDistribution dist, size_t num_points,
                                           num_obstacles * 7);
   ds->tp = std::make_unique<rtree::RStarTree>(std::move(
       rtree::StrBulkLoad(datagen::ToPointObjects(ds->pair.points)).value()));
-  ds->to = std::make_unique<rtree::RStarTree>(
-      std::move(rtree::StrBulkLoad(datagen::ToObstacleObjects(ds->pair.obstacles))
-                    .value()));
+  ds->to = std::make_unique<rtree::RStarTree>(std::move(
+      rtree::StrBulkLoad(datagen::ToObstacleObjects(ds->pair.obstacles))
+          .value()));
   std::vector<rtree::DataObject> all =
       datagen::ToPointObjects(ds->pair.points);
   for (const rtree::DataObject& o :

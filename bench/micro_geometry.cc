@@ -83,7 +83,8 @@ void BM_SegmentCrossesInterior(benchmark::State& state) {
     cases.emplace_back(
         geom::Segment({rng.Uniform(0, 1000), rng.Uniform(0, 1000)},
                       {rng.Uniform(0, 1000), rng.Uniform(0, 1000)}),
-        geom::Rect(lo, {lo.x + rng.Uniform(5, 100), lo.y + rng.Uniform(5, 100)}));
+        geom::Rect(
+            lo, {lo.x + rng.Uniform(5, 100), lo.y + rng.Uniform(5, 100)}));
   }
   size_t i = 0;
   for (auto _ : state) {
@@ -98,8 +99,9 @@ void BM_VisibleRegion(benchmark::State& state) {
   vis::ObstacleSet set(geom::Rect({0, 0}, {1000, 1000}), 32);
   for (uint32_t i = 0; i < static_cast<uint32_t>(state.range(0)); ++i) {
     const geom::Vec2 lo{rng.Uniform(0, 950), rng.Uniform(0, 950)};
-    set.Add(geom::Rect(lo, {lo.x + rng.Uniform(5, 50), lo.y + rng.Uniform(5, 50)}),
-            i);
+    set.Add(
+        geom::Rect(lo, {lo.x + rng.Uniform(5, 50), lo.y + rng.Uniform(5, 50)}),
+        i);
   }
   const geom::SegmentFrame frame(geom::Segment({100, 100}, {900, 500}));
   std::vector<geom::Vec2> viewpoints(256);

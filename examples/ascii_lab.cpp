@@ -27,8 +27,8 @@ int ColOf(double x) {
   return std::min(kCols - 1, std::max(0, static_cast<int>(x / kWorld * kCols)));
 }
 int RowOf(double y) {
-  return std::min(kRows - 1,
-                  std::max(0, kRows - 1 - static_cast<int>(y / kWorld * kRows)));
+  const int from_top = kRows - 1 - static_cast<int>(y / kWorld * kRows);
+  return std::min(kRows - 1, std::max(0, from_top));
 }
 
 }  // namespace
@@ -87,10 +87,11 @@ int main() {
   // --- the result list ----------------------------------------------------
   std::printf("\nresult list <p, cp, R> (Definition 6 + control points):\n");
   for (const conn::core::ConnTuple& tup : r.tuples) {
-    std::printf("  point %c  cp=(%5.1f,%5.1f)  offset=%6.2f  R=[%6.2f, %6.2f]\n",
-                tup.point_id >= 0 ? static_cast<char>('A' + tup.point_id) : '-',
-                tup.control_point.x, tup.control_point.y, tup.offset,
-                tup.range.lo, tup.range.hi);
+    std::printf(
+        "  point %c  cp=(%5.1f,%5.1f)  offset=%6.2f  R=[%6.2f, %6.2f]\n",
+        tup.point_id >= 0 ? static_cast<char>('A' + tup.point_id) : '-',
+        tup.control_point.x, tup.control_point.y, tup.offset, tup.range.lo,
+        tup.range.hi);
   }
   std::printf("split points at t =");
   for (double s : r.SplitParams()) std::printf(" %.2f", s);

@@ -71,7 +71,8 @@ bool ParseFlags(int argc, char** argv, Flags* f) {
     }
     const char* val = argv[i + 1];
     if (key == "--points") f->points = std::strtoull(val, nullptr, 10);
-    else if (key == "--obstacles") f->obstacles = std::strtoull(val, nullptr, 10);
+    else if (key == "--obstacles")
+      f->obstacles = std::strtoull(val, nullptr, 10);
     else if (key == "--seed") f->seed = std::strtoull(val, nullptr, 10);
     else if (key == "--dist") f->dist = val;
     else if (key == "--k") f->k = std::strtoull(val, nullptr, 10);
@@ -122,9 +123,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("building dataset: |P|=%zu (%s), |O|=%zu street rects, seed %llu\n",
-              f.points, f.dist.c_str(), f.obstacles,
-              static_cast<unsigned long long>(f.seed));
+  std::printf(
+      "building dataset: |P|=%zu (%s), |O|=%zu street rects, seed %llu\n",
+      f.points, f.dist.c_str(), f.obstacles,
+      static_cast<unsigned long long>(f.seed));
   const auto pair = conn::datagen::MakeDatasetPair(DistOf(f.dist), f.points,
                                                    f.obstacles, f.seed);
   auto tp = std::move(conn::rtree::StrBulkLoad(

@@ -96,9 +96,13 @@ int main() {
     const double mid = r.query.Length() * 0.5;
     std::printf("vehicle %2zu  depot %zu  knn@start {", i,
                 i / kVehiclesPerDepot);
-    for (int64_t pid : r.KnnAt(0.0, frame)) std::printf(" %lld", (long long)pid);
+    for (int64_t pid : r.KnnAt(0.0, frame)) {
+      std::printf(" %lld", (long long)pid);
+    }
     std::printf(" }  knn@mid {");
-    for (int64_t pid : r.KnnAt(mid, frame)) std::printf(" %lld", (long long)pid);
+    for (int64_t pid : r.KnnAt(mid, frame)) {
+      std::printf(" %lld", (long long)pid);
+    }
     std::printf(" }  odist@mid %.1f\n", r.OdistAt(mid, 0, frame));
   }
 

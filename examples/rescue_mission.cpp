@@ -36,8 +36,9 @@ int main() {
       std::move(
           conn::rtree::StrBulkLoad(conn::datagen::ToObstacleObjects(rubble)))
           .value();
-  std::printf("site: %zu survivors, %zu rubble obstacles, trees of %zu+%zu pages\n\n",
-              survivors.size(), rubble.size(), tp.PageCount(), to.PageCount());
+  std::printf(
+      "site: %zu survivors, %zu rubble obstacles, trees of %zu+%zu pages\n\n",
+      survivors.size(), rubble.size(), tp.PageCount(), to.PageCount());
 
   // --- the excavation corridor (polyline) -------------------------------
   const std::vector<Vec2> corridor = {

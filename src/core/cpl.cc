@@ -158,10 +158,9 @@ bool CplIsPartition(const ControlPointList& cpl,
   return i == cpl.size();
 }
 
-const geom::IntervalSet& VisibleRegionCache::Get(vis::VisGraph* vg,
-                                                 vis::VertexId v,
-                                                 const geom::SegmentFrame& frame,
-                                                 uint64_t* test_counter) {
+const geom::IntervalSet& VisibleRegionCache::Get(
+    vis::VisGraph* vg, vis::VertexId v, const geom::SegmentFrame& frame,
+    uint64_t* test_counter) {
   if (epoch_ != vg->epoch()) {
     // Selective invalidation: VR(v) is built from sight-lines between v and
     // points of q, all inside the triangle (v, q.a, q.b).  Only entries

@@ -11,11 +11,9 @@
 namespace conn {
 namespace core {
 
-ObstructedRangeResult ObstructedRangeQuery(const rtree::RStarTree& data_tree,
-                                           const rtree::RStarTree& obstacle_tree,
-                                           geom::Vec2 query_point,
-                                           double radius,
-                                           const ConnOptions& opts) {
+ObstructedRangeResult ObstructedRangeQuery(
+    const rtree::RStarTree& data_tree, const rtree::RStarTree& obstacle_tree,
+    geom::Vec2 query_point, double radius, const ConnOptions& opts) {
   CONN_CHECK_MSG(radius >= 0.0, "range radius must be non-negative");
   Timer timer;
   QueryStats stats;

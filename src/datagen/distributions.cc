@@ -9,7 +9,8 @@ namespace conn {
 namespace datagen {
 
 double ZipfFraction(Rng* rng, double alpha) {
-  CONN_CHECK_MSG(alpha >= 0.0 && alpha < 1.0, "ZipfFraction needs alpha in [0,1)");
+  CONN_CHECK_MSG(alpha >= 0.0 && alpha < 1.0,
+                 "ZipfFraction needs alpha in [0,1)");
   const double u = 1.0 - rng->NextDouble();  // (0, 1]
   return std::pow(u, 1.0 / (1.0 - alpha));
 }

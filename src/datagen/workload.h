@@ -43,10 +43,9 @@ geom::Segment RandomQuerySegment(const geom::Rect& domain,
                                  uint64_t seed);
 
 /// A batch of \p n random query segments.
-std::vector<geom::Segment> MakeWorkload(size_t n, const geom::Rect& domain,
-                                        const WorkloadOptions& opts,
-                                        const std::vector<geom::Rect>& obstacles,
-                                        uint64_t seed);
+std::vector<geom::Segment> MakeWorkload(
+    size_t n, const geom::Rect& domain, const WorkloadOptions& opts,
+    const std::vector<geom::Rect>& obstacles, uint64_t seed);
 
 }  // namespace datagen
 }  // namespace conn

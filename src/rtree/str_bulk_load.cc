@@ -87,7 +87,9 @@ class StrBulkLoader {
     while (group < g) {
       const size_t slice_groups = std::min(groups_per_slice, g - group);
       size_t slice_len = 0;
-      for (size_t k = 0; k < slice_groups; ++k) slice_len += group_size(group + k);
+      for (size_t k = 0; k < slice_groups; ++k) {
+        slice_len += group_size(group + k);
+      }
       std::sort(entries->begin() + offset,
                 entries->begin() + offset + slice_len,
                 [](const NodeEntry& a, const NodeEntry& b) {

@@ -62,13 +62,15 @@ double GridIndex::RingMinDist(geom::Vec2 center, int ring) const {
   constexpr double kInf = std::numeric_limits<double>::infinity();
   double best = kInf;
   if (cx - ring + 1 > 0) {
-    best = std::min(best, center.x - (domain_.lo.x + (cx - ring + 1) * cell_w_));
+    best = std::min(
+        best, center.x - (domain_.lo.x + (cx - ring + 1) * cell_w_));
   }
   if (cx + ring - 1 < n_ - 1) {
     best = std::min(best, (domain_.lo.x + (cx + ring) * cell_w_) - center.x);
   }
   if (cy - ring + 1 > 0) {
-    best = std::min(best, center.y - (domain_.lo.y + (cy - ring + 1) * cell_h_));
+    best = std::min(
+        best, center.y - (domain_.lo.y + (cy - ring + 1) * cell_h_));
   }
   if (cy + ring - 1 < n_ - 1) {
     best = std::min(best, (domain_.lo.y + (cy + ring) * cell_h_) - center.y);

@@ -25,10 +25,12 @@ TEST(CoknnTest, KnnListStartsEmptyWithInfiniteBound) {
 TEST(CoknnTest, FewerThanKCandidatesKeepsInfiniteBound) {
   const geom::SegmentFrame frame(geom::Segment({0, 0}, {100, 0}));
   KnnResultList rl(geom::IntervalSet{geom::Interval(0, 100)}, 2);
-  ControlPointList cpl = {CplEntry{true, {50, 10}, 0.0, geom::Interval(0, 100)}};
+  ControlPointList cpl = {
+      CplEntry{true, {50, 10}, 0.0, geom::Interval(0, 100)}};
   rl.Update(1, cpl, frame, nullptr);
   EXPECT_TRUE(std::isinf(rl.RlMax(frame)));  // only 1 of 2 candidates
-  ControlPointList cpl2 = {CplEntry{true, {20, 5}, 0.0, geom::Interval(0, 100)}};
+  ControlPointList cpl2 = {
+      CplEntry{true, {20, 5}, 0.0, geom::Interval(0, 100)}};
   rl.Update(2, cpl2, frame, nullptr);
   EXPECT_TRUE(std::isfinite(rl.RlMax(frame)));
 }
@@ -82,7 +84,8 @@ TEST_P(CoknnEquivalence, KOneEqualsConn) {
 }
 
 TEST_P(CoknnEquivalence, MatchesOracleKDistancesAtSamples) {
-  const testutil::Scene scene = testutil::MakeScene(GetParam() ^ 0xFACE, 40, 12);
+  const testutil::Scene scene =
+      testutil::MakeScene(GetParam() ^ 0xFACE, 40, 12);
   const rtree::RStarTree tp = testutil::MakePointTree(scene);
   const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
   const NaiveOracle oracle(scene.points, scene.obstacles);
@@ -112,7 +115,8 @@ TEST_P(CoknnEquivalence, MatchesOracleKDistancesAtSamples) {
 }
 
 TEST_P(CoknnEquivalence, CandidateSetsAreDistinctPids) {
-  const testutil::Scene scene = testutil::MakeScene(GetParam() ^ 0xD00D, 30, 10);
+  const testutil::Scene scene =
+      testutil::MakeScene(GetParam() ^ 0xD00D, 30, 10);
   const rtree::RStarTree tp = testutil::MakePointTree(scene);
   const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
   const CoknnResult r = CoknnQuery(tp, to, scene.query, 4);

@@ -119,7 +119,8 @@ TEST_P(CplVsOracle, CurveEqualsGroundTruthOdist) {
 }
 
 TEST_P(CplVsOracle, Lemma6AndLemma7DoNotChangeTheResult) {
-  const testutil::Scene scene = testutil::MakeScene(GetParam() ^ 0xC0FFEE, 5, 15);
+  const testutil::Scene scene =
+      testutil::MakeScene(GetParam() ^ 0xC0FFEE, 5, 15);
   if (scene.query.Length() < 1.0) return;
   const geom::SegmentFrame frame(scene.query);
 

@@ -11,7 +11,8 @@ namespace vis {
 namespace {
 
 TEST(FullVisGraphTest, VertexCountIsFourPerObstaclePlusPoints) {
-  FullVisGraph g({geom::Rect({0, 0}, {10, 10}), geom::Rect({20, 20}, {30, 30})});
+  FullVisGraph g(
+      {geom::Rect({0, 0}, {10, 10}), geom::Rect({20, 20}, {30, 30})});
   EXPECT_EQ(g.VertexCount(), 8u);  // the paper's FULL = 4|O|
   g.AddPoint({50, 50});
   EXPECT_EQ(g.VertexCount(), 9u);
@@ -51,8 +52,9 @@ TEST(FullVisGraphTest, FigureTwoTopology) {
 
 TEST(FullVisGraphTest, UnreachableEnclosure) {
   // A point sealed inside a box of overlapping obstacles.
-  FullVisGraph g({geom::Rect({40, 40}, {60, 45}), geom::Rect({40, 55}, {60, 60}),
-                  geom::Rect({40, 40}, {45, 60}), geom::Rect({55, 40}, {60, 60})});
+  FullVisGraph g(
+      {geom::Rect({40, 40}, {60, 45}), geom::Rect({40, 55}, {60, 60}),
+       geom::Rect({40, 40}, {45, 60}), geom::Rect({55, 40}, {60, 60})});
   const VertexId inside = g.AddPoint({50, 50});
   const VertexId outside = g.AddPoint({0, 0});
   g.Build();

@@ -153,7 +153,8 @@ TEST(GridRingTest, RemovePointDropsItemFromEnumeration) {
   grid.RemovePoint(0, {10, 10});
   std::vector<uint32_t> seen;
   for (int ring = 0; !std::isinf(grid.RingMinDist({50, 50}, ring)); ++ring) {
-    grid.VisitRing({50, 50}, ring, [&](uint32_t item) { seen.push_back(item); });
+    grid.VisitRing({50, 50}, ring,
+                   [&](uint32_t item) { seen.push_back(item); });
   }
   ASSERT_EQ(seen.size(), 1u);
   EXPECT_EQ(seen[0], 1u);
@@ -161,7 +162,8 @@ TEST(GridRingTest, RemovePointDropsItemFromEnumeration) {
   grid.InsertPoint(0, {90, 90});
   seen.clear();
   for (int ring = 0; !std::isinf(grid.RingMinDist({90, 90}, ring)); ++ring) {
-    grid.VisitRing({90, 90}, ring, [&](uint32_t item) { seen.push_back(item); });
+    grid.VisitRing({90, 90}, ring,
+                   [&](uint32_t item) { seen.push_back(item); });
   }
   EXPECT_EQ(seen.size(), 2u);
 }

@@ -54,7 +54,8 @@ TEST_P(Metamorphic, TranslationInvariance) {
 }
 
 TEST_P(Metamorphic, MirrorInvariance) {
-  const testutil::Scene base = testutil::MakeScene(GetParam() ^ 0xF11Bu, 40, 15);
+  const testutil::Scene base =
+      testutil::MakeScene(GetParam() ^ 0xF11Bu, 40, 15);
   testutil::Scene mirrored = base;
   auto flip = [](geom::Vec2 p) { return geom::Vec2{2000.0 - p.x, p.y}; };
   for (auto& p : mirrored.points) p = flip(p);
@@ -67,7 +68,8 @@ TEST_P(Metamorphic, MirrorInvariance) {
 }
 
 TEST_P(Metamorphic, UniformScaling) {
-  const testutil::Scene base = testutil::MakeScene(GetParam() ^ 0x5CA1E, 30, 12);
+  const testutil::Scene base =
+      testutil::MakeScene(GetParam() ^ 0x5CA1E, 30, 12);
   const double s = 2.5;
   testutil::Scene scaled = base;
   for (auto& p : scaled.points) p = p * s;

@@ -98,7 +98,8 @@ TEST(IorTest, UnreachableTargetDrainsAndReturnsInfinity) {
                               geom::Rect({450, 450}, {460, 550}),
                               geom::Rect({540, 450}, {550, 550})};
   for (size_t i = 0; i < 4; ++i) {
-    ASSERT_TRUE(obstacles.Insert(rtree::DataObject::Obstacle(walls[i], i)).ok());
+    ASSERT_TRUE(
+        obstacles.Insert(rtree::DataObject::Obstacle(walls[i], i)).ok());
   }
   TreeObstacleSource source(obstacles,
                             geom::Segment({500, 500}, {500, 500}));
@@ -128,8 +129,8 @@ TEST_P(IorVsOracle, ExactObstructedDistances) {
   for (const geom::Vec2& p : scene.points) {
     const double d = IncrementalObstacleRetrieval(&source, &vg, {s, e}, p,
                                                   &retrieved, &stats);
-    const double want =
-        std::max(oracle.Odist(p, scene.query.a), oracle.Odist(p, scene.query.b));
+    const double want = std::max(oracle.Odist(p, scene.query.a),
+                                 oracle.Odist(p, scene.query.b));
     if (std::isinf(want)) {
       EXPECT_TRUE(std::isinf(d));
     } else {

@@ -38,7 +38,8 @@ TEST_P(OneTreeEquivalence, ConnSameAnswerAsTwoTrees) {
 }
 
 TEST_P(OneTreeEquivalence, CoknnSameAnswerAsTwoTrees) {
-  const testutil::Scene scene = testutil::MakeScene(GetParam() ^ 0x17EE, 40, 15);
+  const testutil::Scene scene =
+      testutil::MakeScene(GetParam() ^ 0x17EE, 40, 15);
   const rtree::RStarTree tp = testutil::MakePointTree(scene);
   const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
   const rtree::RStarTree unified = testutil::MakeUnifiedTree(scene);
@@ -63,7 +64,8 @@ TEST_P(OneTreeEquivalence, CoknnSameAnswerAsTwoTrees) {
 }
 
 TEST_P(OneTreeEquivalence, OneTreeUsesSingleTreeIo) {
-  const testutil::Scene scene = testutil::MakeScene(GetParam() ^ 0xF00D, 60, 20);
+  const testutil::Scene scene =
+      testutil::MakeScene(GetParam() ^ 0xF00D, 60, 20);
   const rtree::RStarTree unified = testutil::MakeUnifiedTree(scene);
   const ConnResult one = ConnQuery1T(unified, scene.query);
   EXPECT_GT(one.stats.data_page_reads, 0u);

@@ -95,8 +95,10 @@ TEST_P(QuadraticProperty, ConstructedRootsAreRecovered) {
     const int n = SolveQuadratic(a, -a * (x1 + x2), a * x1 * x2, r);
     if (std::abs(x1 - x2) < 1e-5) continue;  // near-double roots: skip
     ASSERT_EQ(n, 2) << "x1=" << x1 << " x2=" << x2;
-    EXPECT_NEAR(r[0], std::min(x1, x2), 1e-6 * (1 + std::abs(x1) + std::abs(x2)));
-    EXPECT_NEAR(r[1], std::max(x1, x2), 1e-6 * (1 + std::abs(x1) + std::abs(x2)));
+    EXPECT_NEAR(r[0], std::min(x1, x2),
+                1e-6 * (1 + std::abs(x1) + std::abs(x2)));
+    EXPECT_NEAR(r[1], std::max(x1, x2),
+                1e-6 * (1 + std::abs(x1) + std::abs(x2)));
   }
 }
 

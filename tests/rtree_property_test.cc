@@ -36,7 +36,8 @@ TEST_P(RtreeVsLinearScan, RangeQueriesMatchAfterMixedWorkload) {
         r = geom::Rect::FromPoint(p);
       } else {
         const geom::Vec2 lo{rng.Uniform(0, 480), rng.Uniform(0, 480)};
-        r = geom::Rect(lo, {lo.x + rng.Uniform(0, 20), lo.y + rng.Uniform(0, 20)});
+        r = geom::Rect(
+            lo, {lo.x + rng.Uniform(0, 20), lo.y + rng.Uniform(0, 20)});
       }
       const uint64_t id = next_id++;
       ASSERT_TRUE(tree.Insert({r, id, ObjectKind::kPoint}).ok());
@@ -56,8 +57,8 @@ TEST_P(RtreeVsLinearScan, RangeQueriesMatchAfterMixedWorkload) {
   // 20 random range queries must match the model exactly.
   for (int qi = 0; qi < 20; ++qi) {
     const geom::Vec2 lo{rng.Uniform(0, 400), rng.Uniform(0, 400)};
-    const geom::Rect range(lo,
-                           {lo.x + rng.Uniform(5, 120), lo.y + rng.Uniform(5, 120)});
+    const geom::Rect range(
+        lo, {lo.x + rng.Uniform(5, 120), lo.y + rng.Uniform(5, 120)});
     std::vector<DataObject> got;
     ASSERT_TRUE(tree.RangeQuery(range, &got).ok());
     std::set<uint64_t> got_ids;

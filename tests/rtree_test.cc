@@ -118,7 +118,8 @@ TEST(RStarTreeTest, SegmentIntersectionQuery) {
   ASSERT_TRUE(
       tree.Insert(DataObject::Obstacle(geom::Rect({20, 0}, {30, 10}), 1)).ok());
   ASSERT_TRUE(
-      tree.Insert(DataObject::Obstacle(geom::Rect({40, 40}, {50, 50}), 2)).ok());
+      tree.Insert(DataObject::Obstacle(geom::Rect({40, 40}, {50, 50}), 2))
+          .ok());
   std::vector<DataObject> out;
   ASSERT_TRUE(
       tree.SegmentIntersectionQuery(geom::Segment({-5, 5}, {35, 5}), &out)

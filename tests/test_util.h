@@ -45,7 +45,8 @@ inline Scene MakeScene(uint64_t seed, size_t num_points,
     s.points.push_back(
         {rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)});
   }
-  datagen::DisplacePointsOutsideObstacles(&s.points, s.obstacles, seed ^ 0xABCD);
+  datagen::DisplacePointsOutsideObstacles(&s.points, s.obstacles,
+                                          seed ^ 0xABCD);
 
   const geom::Vec2 start{rng.Uniform(100.0, 900.0),
                          rng.Uniform(100.0, 900.0)};
