@@ -15,6 +15,7 @@
 #include "rtree/str_bulk_load.h"
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
+#include "storage/pool_tuning.h"
 
 namespace conn {
 namespace bench {
@@ -96,14 +97,20 @@ BENCHMARK(BM_UnbufferedFetch);
 
 /// Pin/unpin contention: all threads hammer one hot set through the
 /// per-shard latches.  Throughput per thread should degrade gently, not
-/// collapse, as threads are added.
+/// collapse, as threads are added.  Pool and hot-set sizes derive from the
+/// pool's own sharding constants (storage/pool_tuning.h): two latch shards
+/// under the current tuning, with the hot set striped across both, so a
+/// future shard-cap lift moves this watchpoint with it.
 void BM_PinContention(benchmark::State& state) {
   static Pager* shared = [] {
-    return MakePager(/*capacity=*/64, EvictionPolicy::kTwoQueue).release();
+    return MakePager(/*capacity=*/2 * storage::kFramesPerShard,
+                     EvictionPolicy::kTwoQueue)
+        .release();
   }();
   Rng rng(0x900D + static_cast<uint64_t>(state.thread_index()));
   for (auto _ : state) {
-    const PageId id = static_cast<PageId>(rng.UniformU64(32));
+    const PageId id =
+        static_cast<PageId>(rng.UniformU64(storage::kFramesPerShard));
     StatusOr<PinnedPage> view = shared->Fetch(id);
     benchmark::DoNotOptimize(view.value().page().data());
   }

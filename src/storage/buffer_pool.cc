@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "storage/pool_tuning.h"
+
 namespace conn {
 namespace storage {
 
@@ -35,7 +37,7 @@ void BufferPool::Configure(const BufferOptions& options) {
   // deterministic, so fault counts stay machine-independent.
   size_t num_shards = 1;
   if (cap > 0 && options.policy == EvictionPolicy::kTwoQueue) {
-    num_shards = std::clamp<size_t>(cap / 32, 1, 8);
+    num_shards = std::clamp<size_t>(cap / kFramesPerShard, 1, kMaxShards);
   }
   shards_.clear();
   shards_.reserve(std::max<size_t>(num_shards, 1));
@@ -53,7 +55,7 @@ void BufferPool::Configure(const BufferOptions& options) {
       ++sh.capacity;
       PushFront(sh, ListId::kFree, static_cast<uint32_t>(i));
     }
-    sh.a1in_target = std::max<size_t>(1, sh.capacity / 4);
+    sh.a1in_target = std::max<size_t>(1, sh.capacity / kA1inTargetDivisor);
   }
 }
 

@@ -1,0 +1,14 @@
+// MUST NOT COMPILE (any compiler): writes a ScanArena epoch-stamp array
+// directly.  The stamp arrays are private with DijkstraScan as the only
+// friend — "clearing" scan state is an O(1) epoch bump through the arena
+// API, and a hand-rolled O(V) wipe would silently reintroduce the
+// per-restart cost PR 3 removed.  conn-tidy's conn-arena-epoch-reset check
+// enforces the same invariant for code that *can* name the members.
+
+#include "vis/dijkstra.h"
+
+int main() {
+  conn::vis::ScanArena arena;
+  arena.dist_stamp_.clear();  // error: 'dist_stamp_' is private
+  return 0;
+}

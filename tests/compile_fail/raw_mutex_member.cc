@@ -1,0 +1,25 @@
+// MUST NOT COMPILE (Clang, -Werror=thread-safety): a raw std::mutex member
+// used as the guard of a GUARDED_BY field.  std::mutex carries no
+// capability annotation, so the attribute is rejected — the only latch type
+// the analysis (and the repo) accepts is conn::Mutex from common/mutex.h.
+// conn-tidy's conn-raw-sync-primitive check enforces the same rule
+// semantically over every declaration, not just annotated ones.
+
+#include <mutex>
+
+#include "common/mutex.h"
+
+namespace {
+
+struct Counter {
+  std::mutex mu;  // raw primitive: not a capability
+  int value GUARDED_BY(mu) = 0;  // error: 'guarded_by' needs a capability
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  std::lock_guard<std::mutex> lock(c.mu);
+  return c.value;
+}

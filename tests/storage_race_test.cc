@@ -15,6 +15,7 @@
 #include "rtree/str_bulk_load.h"
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
+#include "storage/pool_tuning.h"
 #include "storage_test_util.h"
 
 namespace conn {
@@ -32,7 +33,10 @@ void RunChurn(EvictionPolicy policy) {
     ASSERT_TRUE(pager.Write(id, StampedPage(id)).ok());
   }
   BufferOptions opts;
-  opts.capacity_pages = 8;  // far below the working set: constant eviction
+  // A quarter of one latch shard's frame budget (pool_tuning.h): a
+  // single-shard pool far below the working set, so eviction churns
+  // constantly and stays churning if the shard sizing ever changes.
+  opts.capacity_pages = kFramesPerShard / kA1inTargetDivisor;
   opts.policy = policy;
   pager.ConfigureBuffer(opts);
   pager.ResetCounters();
@@ -105,7 +109,7 @@ TEST(StorageRaceTest, ConcurrentTreeTraversalsShareOnePool) {
   }
   rtree::RStarTree tree =
       std::move(rtree::StrBulkLoad(std::move(objs)).value());
-  tree.pager().SetBufferCapacity(8);
+  tree.pager().SetBufferCapacity(kFramesPerShard / kA1inTargetDivisor);
 
   // Single-threaded reference counts per window.
   std::vector<geom::Rect> windows;

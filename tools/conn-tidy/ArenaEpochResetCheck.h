@@ -1,0 +1,46 @@
+// conn-arena-epoch-reset: flags direct writes to vis::ScanArena's
+// epoch-stamp arrays (dist_stamp_, settled_stamp_, seeded_stamp_,
+// target_stamp_) outside the arena and its one friend, DijkstraScan.
+//
+// Scan state is "cleared" by bumping the arena epoch — O(1) — never by
+// wiping the per-vertex arrays, which would reintroduce the O(V)
+// per-restart cost the arena exists to remove (PR 3).  Access control
+// already stops strangers at compile time (the arrays are private; see
+// tests/compile_fail/epoch_stamp_write.cc); this check additionally covers
+// code that CAN name the members — new friends, members added to the vis
+// layer, or fixture code that unseals the class.
+//
+// Options:
+//   AllowedClasses  ';'-separated qualified class names whose member
+//                   functions may write the stamps (default
+//                   "conn::vis::ScanArena;conn::vis::DijkstraScan").
+
+#ifndef CONN_TOOLS_CONN_TIDY_ARENA_EPOCH_RESET_CHECK_H_
+#define CONN_TOOLS_CONN_TIDY_ARENA_EPOCH_RESET_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace conn {
+
+class ArenaEpochResetCheck : public ClangTidyCheck {
+ public:
+  ArenaEpochResetCheck(StringRef name, ClangTidyContext* context);
+  void registerMatchers(ast_matchers::MatchFinder* finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& result) override;
+  void storeOptions(ClangTidyOptions::OptionMap& opts) override;
+
+ private:
+  const std::string raw_allowed_classes_;
+  const std::vector<std::string> allowed_classes_;
+};
+
+}  // namespace conn
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // CONN_TOOLS_CONN_TIDY_ARENA_EPOCH_RESET_CHECK_H_

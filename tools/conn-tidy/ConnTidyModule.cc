@@ -1,0 +1,39 @@
+// Registers the conn project-invariant checks as a clang-tidy plugin
+// module.  Load with `clang-tidy --load=libconn_tidy_checks.so
+// --checks=-*,conn-*`; see tools/conn-tidy/CMakeLists.txt and the
+// "Static analysis" section of the top-level README.
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "ArenaEpochResetCheck.h"
+#include "FloatEqInGeomCheck.h"
+#include "PinnedPageEscapeCheck.h"
+#include "RawSyncPrimitiveCheck.h"
+#include "StatusOrUncheckedValueCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace conn {
+
+class ConnTidyModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories& factories) override {
+    factories.registerCheck<ArenaEpochResetCheck>("conn-arena-epoch-reset");
+    factories.registerCheck<FloatEqInGeomCheck>("conn-float-eq-in-geom");
+    factories.registerCheck<PinnedPageEscapeCheck>("conn-pinnedpage-escape");
+    factories.registerCheck<RawSyncPrimitiveCheck>("conn-raw-sync-primitive");
+    factories.registerCheck<StatusOrUncheckedValueCheck>(
+        "conn-statusor-unchecked-value");
+  }
+};
+
+}  // namespace conn
+
+// Magic static: constructing the Add object registers the module with the
+// host clang-tidy's registry when the plugin is dlopen'd.
+static ClangTidyModuleRegistry::Add<conn::ConnTidyModule> kRegisterConnModule(
+    "conn-module", "Project-invariant checks for the conn engine.");
+
+}  // namespace tidy
+}  // namespace clang

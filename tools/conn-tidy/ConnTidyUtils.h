@@ -1,0 +1,50 @@
+// Small shared helpers for the conn-tidy checks.  Deliberately header-only
+// and dependent only on llvm ADT: the plugin links nothing and resolves
+// every clang/LLVM symbol from the clang-tidy executable that loads it, so
+// the module must not reference clang-tidy utility-library symbols the
+// host binary may have dead-stripped.
+
+#ifndef CONN_TOOLS_CONN_TIDY_CONN_TIDY_UTILS_H_
+#define CONN_TOOLS_CONN_TIDY_CONN_TIDY_UTILS_H_
+
+#include <string>
+#include <vector>
+
+#include "llvm/ADT/StringRef.h"
+
+namespace clang {
+namespace tidy {
+namespace conn {
+
+/// Splits a ';'-separated check option into its non-empty, trimmed
+/// entries (a local stand-in for utils::options::parseStringList).
+inline std::vector<std::string> SplitList(llvm::StringRef raw) {
+  std::vector<std::string> out;
+  while (!raw.empty()) {
+    auto split = raw.split(';');
+    llvm::StringRef item = split.first.trim();
+    if (!item.empty()) out.push_back(item.str());
+    raw = split.second;
+  }
+  return out;
+}
+
+/// True when \p path ends with one of \p suffixes, respecting a path
+/// separator on the left so "common/mutex.h" never matches
+/// "uncommon/mutex.h".
+inline bool PathEndsWithAny(llvm::StringRef path,
+                            const std::vector<std::string>& suffixes) {
+  for (const std::string& suffix : suffixes) {
+    if (!path.ends_with(suffix)) continue;
+    if (path.size() == suffix.size()) return true;
+    const char prev = path[path.size() - suffix.size() - 1];
+    if (prev == '/' || prev == '\\') return true;
+  }
+  return false;
+}
+
+}  // namespace conn
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // CONN_TOOLS_CONN_TIDY_CONN_TIDY_UTILS_H_

@@ -1,0 +1,77 @@
+#include "FloatEqInGeomCheck.h"
+
+#include "ConnTidyUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Expr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace conn {
+
+namespace {
+
+// Literal zero on either side is a sanctioned exact compare: the value was
+// assigned, not computed, so no rounding error can have accumulated.
+bool IsZeroLiteral(const Expr* e) {
+  e = e->IgnoreParenImpCasts();
+  if (const auto* fl = llvm::dyn_cast<FloatingLiteral>(e))
+    return fl->getValue().isZero();
+  if (const auto* il = llvm::dyn_cast<IntegerLiteral>(e))
+    return il->getValue().isZero();
+  return false;
+}
+
+}  // namespace
+
+FloatEqInGeomCheck::FloatEqInGeomCheck(StringRef name,
+                                       ClangTidyContext* context)
+    : ClangTidyCheck(name, context),
+      raw_path_filter_(Options.get("PathFilter", "src/(geom|vis)/")),
+      raw_allowed_functions_(Options.get("AllowedFunctions", "")),
+      allowed_functions_(SplitList(raw_allowed_functions_)),
+      path_filter_(raw_path_filter_) {}
+
+void FloatEqInGeomCheck::storeOptions(ClangTidyOptions::OptionMap& opts) {
+  Options.store(opts, "PathFilter", raw_path_filter_);
+  Options.store(opts, "AllowedFunctions", raw_allowed_functions_);
+}
+
+void FloatEqInGeomCheck::registerMatchers(MatchFinder* finder) {
+  finder->addMatcher(
+      binaryOperator(hasAnyOperatorName("==", "!="),
+                     hasEitherOperand(hasType(realFloatingPointType())),
+                     unless(isExpansionInSystemHeader()),
+                     optionally(forFunction(functionDecl().bind("fn"))))
+          .bind("cmp"),
+      this);
+}
+
+void FloatEqInGeomCheck::check(const MatchFinder::MatchResult& result) {
+  const auto* cmp = result.Nodes.getNodeAs<BinaryOperator>("cmp");
+  if (cmp == nullptr) return;
+  const SourceManager& sm = *result.SourceManager;
+  const SourceLocation loc = sm.getFileLoc(cmp->getOperatorLoc());
+  if (loc.isInvalid()) return;
+  if (!path_filter_.match(sm.getFilename(loc))) return;
+  if (const auto* fn = result.Nodes.getNodeAs<FunctionDecl>("fn")) {
+    // `= default`ed comparisons (vec.h) are memberwise-exact on purpose.
+    if (fn->isDefaulted()) return;
+    const std::string qualified = fn->getQualifiedNameAsString();
+    for (const std::string& allowed : allowed_functions_)
+      if (qualified == allowed) return;
+  }
+  if (IsZeroLiteral(cmp->getLHS()) || IsZeroLiteral(cmp->getRHS())) return;
+  if (!reported_.insert(loc).second) return;
+  diag(loc,
+       "exact floating-point %0 in geometry code; compare through the eps "
+       "helpers in geom/predicates.h, or against a literal zero for "
+       "degenerate-input guards")
+      << cmp->getOpcodeStr();
+}
+
+}  // namespace conn
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,51 @@
+// conn-float-eq-in-geom: flags exact floating-point ==/!= comparisons in
+// geometry code.  Robust geometric predicates go through the eps ladder in
+// geom/predicates.h (kEpsInterior / kEpsDist / kEpsParam / kEpsSliver);
+// a raw double equality silently depends on bit-exact arithmetic.
+//
+// Two exact-compare idioms stay legal, because they really are exact:
+//   * comparisons against a literal zero (degenerate-input guards such as
+//     `len == 0.0` — the value was never computed, it was assigned), and
+//   * compiler-defaulted comparison operators (vec.h's `= default`).
+//
+// Options:
+//   PathFilter        llvm::Regex applied to the file path; only matching
+//                     files are checked (default "src/(geom|vis)/").
+//   AllowedFunctions  ';'-separated fully qualified function names whose
+//                     bodies may compare exactly (default empty).
+
+#ifndef CONN_TOOLS_CONN_TIDY_FLOAT_EQ_IN_GEOM_CHECK_H_
+#define CONN_TOOLS_CONN_TIDY_FLOAT_EQ_IN_GEOM_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "clang/Basic/SourceLocation.h"
+#include "llvm/ADT/DenseSet.h"
+#include "llvm/Support/Regex.h"
+
+namespace clang {
+namespace tidy {
+namespace conn {
+
+class FloatEqInGeomCheck : public ClangTidyCheck {
+ public:
+  FloatEqInGeomCheck(StringRef name, ClangTidyContext* context);
+  void registerMatchers(ast_matchers::MatchFinder* finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& result) override;
+  void storeOptions(ClangTidyOptions::OptionMap& opts) override;
+
+ private:
+  const std::string raw_path_filter_;
+  const std::string raw_allowed_functions_;
+  const std::vector<std::string> allowed_functions_;
+  llvm::Regex path_filter_;
+  llvm::DenseSet<SourceLocation> reported_;
+};
+
+}  // namespace conn
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // CONN_TOOLS_CONN_TIDY_FLOAT_EQ_IN_GEOM_CHECK_H_

@@ -1,0 +1,196 @@
+#include "PinnedPageEscapeCheck.h"
+
+#include <functional>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/ADT/SmallPtrSet.h"
+#include "llvm/ADT/SmallVector.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace conn {
+
+namespace {
+
+using AliasSet = llvm::SmallPtrSet<const ValueDecl*, 8>;
+
+bool IsPageBorrowCall(const Expr* e) {
+  const auto* call = llvm::dyn_cast<CXXMemberCallExpr>(e);
+  if (call == nullptr) return false;
+  const CXXMethodDecl* method = call->getMethodDecl();
+  return method != nullptr && method->getDeclName().isIdentifier() &&
+         method->getName() == "page" && method->getParent() != nullptr &&
+         method->getParent()->getQualifiedNameAsString() ==
+             "conn::storage::PinnedPage";
+}
+
+// True when \p e is (a projection of) a page() borrow or of a var already
+// in the alias set.  Walks only value-preserving shapes — address-of,
+// dereference, member/array projection, the arms of ?: — so a call that
+// merely consumes the borrow (`Copy(pin.page())`) does not count.
+bool DerivesFromBorrow(const Expr* e, const AliasSet& aliases) {
+  if (e == nullptr) return false;
+  e = e->IgnoreParenCasts();
+  if (const auto* cleanups = llvm::dyn_cast<ExprWithCleanups>(e))
+    return DerivesFromBorrow(cleanups->getSubExpr(), aliases);
+  if (const auto* temp = llvm::dyn_cast<MaterializeTemporaryExpr>(e))
+    return DerivesFromBorrow(temp->getSubExpr(), aliases);
+  if (IsPageBorrowCall(e)) return true;
+  if (const auto* ref = llvm::dyn_cast<DeclRefExpr>(e))
+    return aliases.count(ref->getDecl()) != 0;
+  if (const auto* unary = llvm::dyn_cast<UnaryOperator>(e)) {
+    if (unary->getOpcode() == UO_AddrOf || unary->getOpcode() == UO_Deref)
+      return DerivesFromBorrow(unary->getSubExpr(), aliases);
+    return false;
+  }
+  if (const auto* member = llvm::dyn_cast<MemberExpr>(e))
+    return DerivesFromBorrow(member->getBase(), aliases);
+  if (const auto* subscript = llvm::dyn_cast<ArraySubscriptExpr>(e))
+    return DerivesFromBorrow(subscript->getBase(), aliases);
+  if (const auto* cond = llvm::dyn_cast<ConditionalOperator>(e))
+    return DerivesFromBorrow(cond->getTrueExpr(), aliases) ||
+           DerivesFromBorrow(cond->getFalseExpr(), aliases);
+  return false;
+}
+
+// Collects pointer/reference locals declared in \p stmt.  Does not descend
+// into lambda bodies: a lambda's operator() is matched and analyzed as its
+// own function.
+void CollectPtrRefLocals(const Stmt* stmt,
+                         llvm::SmallVectorImpl<const VarDecl*>* out) {
+  if (stmt == nullptr || llvm::isa<LambdaExpr>(stmt)) return;
+  if (const auto* decl_stmt = llvm::dyn_cast<DeclStmt>(stmt)) {
+    for (const Decl* d : decl_stmt->decls()) {
+      const auto* var = llvm::dyn_cast<VarDecl>(d);
+      if (var != nullptr && (var->getType()->isPointerType() ||
+                             var->getType()->isReferenceType())) {
+        out->push_back(var);
+      }
+    }
+  }
+  for (const Stmt* child : stmt->children()) CollectPtrRefLocals(child, out);
+}
+
+// Finds every LambdaExpr inside \p e (a returned std::function wraps the
+// lambda in construct/convert nodes, so a plain dyn_cast is not enough).
+void CollectLambdas(const Stmt* e,
+                    llvm::SmallVectorImpl<const LambdaExpr*>* out) {
+  if (e == nullptr) return;
+  if (const auto* lambda = llvm::dyn_cast<LambdaExpr>(e)) {
+    out->push_back(lambda);
+    return;  // nested lambdas are analyzed through their own operator()
+  }
+  for (const Stmt* child : e->children()) CollectLambdas(child, out);
+}
+
+bool LambdaCapturesAlias(const LambdaExpr* lambda, const AliasSet& aliases) {
+  for (const LambdaCapture& capture : lambda->captures()) {
+    if (!capture.capturesVariable()) continue;
+    const auto* var = capture.getCapturedVar();
+    if (var == nullptr || aliases.count(var) == 0) continue;
+    if (capture.getCaptureKind() == LCK_ByRef) return true;
+    if (capture.getCaptureKind() == LCK_ByCopy &&
+        var->getType()->isPointerType()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void PinnedPageEscapeCheck::registerMatchers(MatchFinder* finder) {
+  const auto page_call = cxxMemberCallExpr(callee(cxxMethodDecl(
+      hasName("page"),
+      ofClass(cxxRecordDecl(hasName("::conn::storage::PinnedPage"))))));
+  // One match per function that touches page() anywhere; the per-function
+  // alias analysis runs in check().
+  finder->addMatcher(functionDecl(isDefinition(), hasDescendant(page_call),
+                                  unless(isExpansionInSystemHeader()))
+                         .bind("fn"),
+                     this);
+}
+
+void PinnedPageEscapeCheck::check(const MatchFinder::MatchResult& result) {
+  const auto* fn = result.Nodes.getNodeAs<FunctionDecl>("fn");
+  const Stmt* body = fn != nullptr ? fn->getBody() : nullptr;
+  if (body == nullptr) return;
+  const SourceManager& sm = *result.SourceManager;
+
+  // Fixpoint over pointer/reference locals: seed with initializers that
+  // derive from page() directly, then absorb aliases of aliases.
+  llvm::SmallVector<const VarDecl*, 16> candidates;
+  CollectPtrRefLocals(body, &candidates);
+  AliasSet aliases;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const VarDecl* var : candidates) {
+      if (aliases.count(var) != 0 || var->getInit() == nullptr) continue;
+      if (DerivesFromBorrow(var->getInit(), aliases)) {
+        aliases.insert(var);
+        changed = true;
+      }
+    }
+  }
+
+  const bool returns_indirection = fn->getReturnType()->isPointerType() ||
+                                   fn->getReturnType()->isReferenceType();
+
+  auto report = [&](const Stmt* at, const char* what) {
+    const SourceLocation loc = sm.getFileLoc(at->getBeginLoc());
+    if (loc.isInvalid() || !reported_.insert(loc).second) return;
+    diag(loc,
+         "raw view of PinnedPage::page() bytes %0 the pin's scope; the "
+         "frame may be evicted once the pin drops — copy the bytes or "
+         "keep the PinnedPage alive alongside the view")
+        << what;
+  };
+
+  // Walk the body for escapes.  Lambda bodies are skipped (each lambda's
+  // operator() is analyzed as its own function); the lambda *expression*
+  // itself is inspected at return statements below.
+  std::function<void(const Stmt*)> walk = [&](const Stmt* stmt) {
+    if (stmt == nullptr || llvm::isa<LambdaExpr>(stmt)) return;
+    if (const auto* ret = llvm::dyn_cast<ReturnStmt>(stmt)) {
+      const Expr* value = ret->getRetValue();
+      if (value != nullptr) {
+        if (returns_indirection && DerivesFromBorrow(value, aliases))
+          report(ret, "is returned, outliving");
+        llvm::SmallVector<const LambdaExpr*, 2> lambdas;
+        CollectLambdas(value, &lambdas);
+        for (const LambdaExpr* lambda : lambdas)
+          if (LambdaCapturesAlias(lambda, aliases))
+            report(ret, "is captured by a returned lambda, outliving");
+      }
+    } else if (const auto* bin = llvm::dyn_cast<BinaryOperator>(stmt)) {
+      if (bin->isAssignmentOp()) {
+        const Expr* lhs = bin->getLHS()->IgnoreParenImpCasts();
+        bool stores_outside_scope = false;
+        if (const auto* member = llvm::dyn_cast<MemberExpr>(lhs)) {
+          stores_outside_scope =
+              llvm::isa<FieldDecl>(member->getMemberDecl());
+        } else if (const auto* ref = llvm::dyn_cast<DeclRefExpr>(lhs)) {
+          const auto* var = llvm::dyn_cast<VarDecl>(ref->getDecl());
+          stores_outside_scope = var != nullptr && var->hasGlobalStorage();
+        }
+        if (stores_outside_scope && lhs->getType()->isPointerType() &&
+            DerivesFromBorrow(bin->getRHS(), aliases)) {
+          report(bin, "is stored to a field or global, outliving");
+        }
+      }
+    }
+    for (const Stmt* child : stmt->children()) walk(child);
+  };
+  walk(body);
+}
+
+}  // namespace conn
+}  // namespace tidy
+}  // namespace clang

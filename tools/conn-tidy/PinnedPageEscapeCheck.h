@@ -1,0 +1,50 @@
+// conn-pinnedpage-escape: flags raw pointers/references derived from
+// PinnedPage::page() that escape the pin's scope.
+//
+// page() returns a borrow of buffer-pool frame memory that is valid only
+// while the PinnedPage is alive (PR 4's zero-copy read path).  Storing
+// that borrow in a field, returning it, or capturing it in a lambda that
+// outlives the function leaves a dangling view once the pin unpins and the
+// frame is evicted or reused.  Unlike the old grep lint this check tracks
+// local aliases: `const Page& v = pin.page(); const Page* p = &v;
+// return p;` is reported at the `return`.
+//
+// Per function, the analysis (a) seeds an alias set with every pointer/
+// reference local whose initializer derives from a page() call, iterating
+// to a fixpoint so aliases of aliases are caught, then (b) reports
+//   * a return of a derived pointer/reference when the function's return
+//     type is a pointer or reference,
+//   * an assignment of a derived pointer into a field or a global, and
+//   * a returned lambda that captures an alias by reference (or a pointer
+//     alias by copy).
+// Uses of the borrow that end inside the pin's scope — including passing
+// it down by argument, the dominant idiom (`AssignFromPage(pp.page())`) —
+// are not reported.
+
+#ifndef CONN_TOOLS_CONN_TIDY_PINNED_PAGE_ESCAPE_CHECK_H_
+#define CONN_TOOLS_CONN_TIDY_PINNED_PAGE_ESCAPE_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "clang/Basic/SourceLocation.h"
+#include "llvm/ADT/DenseSet.h"
+
+namespace clang {
+namespace tidy {
+namespace conn {
+
+class PinnedPageEscapeCheck : public ClangTidyCheck {
+ public:
+  PinnedPageEscapeCheck(StringRef name, ClangTidyContext* context)
+      : ClangTidyCheck(name, context) {}
+  void registerMatchers(ast_matchers::MatchFinder* finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& result) override;
+
+ private:
+  llvm::DenseSet<SourceLocation> reported_;
+};
+
+}  // namespace conn
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // CONN_TOOLS_CONN_TIDY_PINNED_PAGE_ESCAPE_CHECK_H_

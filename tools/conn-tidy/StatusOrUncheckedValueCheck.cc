@@ -1,0 +1,118 @@
+#include "StatusOrUncheckedValueCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace conn {
+
+namespace {
+
+// Resolves the variable or member a StatusOr expression refers to, looking
+// through parens, implicit casts, dereferences, and std::move/std::forward
+// (`std::move(got).value()` still accesses `got`).
+const ValueDecl* UnderlyingDecl(const Expr* e) {
+  if (e == nullptr) return nullptr;
+  e = e->IgnoreParenImpCasts();
+  while (const auto* call = llvm::dyn_cast<CallExpr>(e)) {
+    const FunctionDecl* callee = call->getDirectCallee();
+    if (callee == nullptr || call->getNumArgs() != 1 ||
+        !callee->isInStdNamespace() ||
+        !callee->getDeclName().isIdentifier() ||
+        (callee->getName() != "move" && callee->getName() != "forward")) {
+      break;
+    }
+    e = call->getArg(0)->IgnoreParenImpCasts();
+  }
+  if (const auto* ref = llvm::dyn_cast<DeclRefExpr>(e))
+    return ref->getDecl();
+  if (const auto* member = llvm::dyn_cast<MemberExpr>(e))
+    return member->getMemberDecl();
+  if (const auto* unary = llvm::dyn_cast<UnaryOperator>(e)) {
+    if (unary->getOpcode() == UO_Deref)
+      return UnderlyingDecl(unary->getSubExpr());
+  }
+  return nullptr;
+}
+
+// True when the function body contains an ok() call on \p key at a file
+// location strictly before \p before.
+bool HasEarlierOkCheck(const Stmt* stmt, const ValueDecl* key,
+                       SourceLocation before, const SourceManager& sm) {
+  if (stmt == nullptr) return false;
+  if (const auto* call = llvm::dyn_cast<CXXMemberCallExpr>(stmt)) {
+    const CXXMethodDecl* method = call->getMethodDecl();
+    if (method != nullptr && method->getDeclName().isIdentifier() &&
+        method->getName() == "ok" &&
+        UnderlyingDecl(call->getImplicitObjectArgument()) == key) {
+      const SourceLocation ok_loc = sm.getFileLoc(call->getExprLoc());
+      if (ok_loc.isValid() && sm.isBeforeInTranslationUnit(ok_loc, before))
+        return true;
+    }
+  }
+  for (const Stmt* child : stmt->children())
+    if (HasEarlierOkCheck(child, key, before, sm)) return true;
+  return false;
+}
+
+}  // namespace
+
+void StatusOrUncheckedValueCheck::registerMatchers(MatchFinder* finder) {
+  const auto statusor_class = cxxRecordDecl(hasName("::conn::StatusOr"));
+  finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasName("value"), ofClass(statusor_class))),
+          forFunction(functionDecl().bind("fn")))
+          .bind("value-call"),
+      this);
+  finder->addMatcher(
+      cxxOperatorCallExpr(hasAnyOverloadedOperatorName("*", "->"),
+                          callee(cxxMethodDecl(ofClass(statusor_class))),
+                          forFunction(functionDecl().bind("fn")))
+          .bind("op-call"),
+      this);
+}
+
+void StatusOrUncheckedValueCheck::check(
+    const MatchFinder::MatchResult& result) {
+  const Expr* object = nullptr;
+  SourceLocation loc;
+  if (const auto* call =
+          result.Nodes.getNodeAs<CXXMemberCallExpr>("value-call")) {
+    object = call->getImplicitObjectArgument();
+    loc = call->getExprLoc();
+  } else if (const auto* op =
+                 result.Nodes.getNodeAs<CXXOperatorCallExpr>("op-call")) {
+    if (op->getNumArgs() > 0) object = op->getArg(0);
+    loc = op->getExprLoc();
+  }
+  if (object == nullptr || loc.isInvalid()) return;
+  const SourceManager& sm = *result.SourceManager;
+  const SourceLocation file_loc = sm.getFileLoc(loc);
+  const ValueDecl* key = UnderlyingDecl(object);
+  const auto* fn = result.Nodes.getNodeAs<FunctionDecl>("fn");
+  if (key != nullptr && fn != nullptr &&
+      HasEarlierOkCheck(fn->getBody(), key, file_loc, sm)) {
+    return;
+  }
+  if (key != nullptr) {
+    diag(file_loc,
+         "StatusOr payload of %0 accessed with no earlier ok() check in "
+         "this function; guard with CONN_CHECK(%0.ok()) or an early "
+         "return on !ok()")
+        << key->getName();
+  } else {
+    diag(file_loc,
+         "StatusOr payload accessed on a temporary; bind the StatusOr to a "
+         "local and check ok() before taking the value");
+  }
+}
+
+}  // namespace conn
+}  // namespace tidy
+}  // namespace clang

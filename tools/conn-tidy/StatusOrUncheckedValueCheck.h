@@ -1,0 +1,38 @@
+// conn-statusor-unchecked-value: flags access to a conn::StatusOr payload
+// (.value(), or operator*/operator-> should they ever be added) with no
+// ok() check on the same object earlier in the same function.
+//
+// StatusOr::value() CHECK-fails on an error state, so an unchecked access
+// turns an I/O error into a process abort.  The sanctioned patterns both
+// leave an ok() call the check can see:
+//     CONN_CHECK(got.ok());             // hard invariant: abort is intended
+//     if (!got.ok()) return got.status();  // propagated error
+//
+// The analysis is an approximation of dominance: any ok() call on the same
+// variable (or member) at an earlier source location in the same function
+// body satisfies the check.  That accepts a check in a sibling branch —
+// fine for a lint whose job is catching never-checked accesses — and flags
+// checks that only appear later, or on a different object.
+
+#ifndef CONN_TOOLS_CONN_TIDY_STATUSOR_UNCHECKED_VALUE_CHECK_H_
+#define CONN_TOOLS_CONN_TIDY_STATUSOR_UNCHECKED_VALUE_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace conn {
+
+class StatusOrUncheckedValueCheck : public ClangTidyCheck {
+ public:
+  StatusOrUncheckedValueCheck(StringRef name, ClangTidyContext* context)
+      : ClangTidyCheck(name, context) {}
+  void registerMatchers(ast_matchers::MatchFinder* finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& result) override;
+};
+
+}  // namespace conn
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // CONN_TOOLS_CONN_TIDY_STATUSOR_UNCHECKED_VALUE_CHECK_H_

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Minimal lit: runs ONE conn-tidy check over ONE fixture file and compares
+the warning lines against `// conn-tidy: expect` markers in the fixture.
+
+A fixture passes when the set of source lines clang-tidy warned on (for the
+selected check only — compiler warnings and other checks are ignored)
+equals the set of marked lines.  Negative fixtures simply carry no markers.
+Compile errors fail the run unless --allow-errors is given (for fixtures
+that deliberately trip access control as well as the check).
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+DIAG_RE = re.compile(
+    r"^(?P<file>[^:\n]+):(?P<line>\d+):\d+: warning: .*\[(?P<check>[\w.,-]+)\]",
+    re.MULTILINE,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clang-tidy", required=True)
+    parser.add_argument("--plugin", required=True)
+    parser.add_argument("--check", required=True)
+    parser.add_argument("--source", required=True)
+    parser.add_argument("--include", action="append", default=[])
+    parser.add_argument("--config", default=None)
+    parser.add_argument("--allow-errors", action="store_true")
+    args = parser.parse_args()
+
+    expected = set()
+    with open(args.source, encoding="utf-8") as fixture:
+        for lineno, text in enumerate(fixture, start=1):
+            if "conn-tidy: expect" in text:
+                expected.add(lineno)
+
+    cmd = [
+        args.clang_tidy,
+        f"--load={args.plugin}",
+        f"--checks=-*,{args.check}",
+    ]
+    if args.config is not None:
+        cmd.append(f"--config={args.config}")
+    cmd += [args.source, "--", "-std=c++20"]
+    cmd += [f"-I{inc}" for inc in args.include]
+
+    proc = subprocess.run(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
+    )
+    output = proc.stdout
+
+    basename = os.path.basename(args.source)
+    actual = set()
+    for match in DIAG_RE.finditer(output):
+        if args.check not in match.group("check").split(","):
+            continue
+        if os.path.basename(match.group("file")) != basename:
+            continue
+        actual.add(int(match.group("line")))
+
+    problems = []
+    errors = [line for line in output.splitlines() if ": error:" in line]
+    if errors and not args.allow_errors:
+        problems.append("compile errors:\n  " + "\n  ".join(errors))
+    if actual != expected:
+        problems.append(
+            f"warning lines {sorted(actual)} != expected {sorted(expected)}"
+        )
+
+    if problems:
+        print(f"FAIL {basename} [{args.check}]")
+        for problem in problems:
+            print(f"  {problem}")
+        print("--- clang-tidy output ---")
+        print(output)
+        return 1
+    print(f"PASS {basename} [{args.check}]: {len(expected)} expected "
+          "warning line(s) matched")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+// conn-arena-epoch-reset MUST fire on every direct stamp-array write
+// below.  The arrays are private (access control already rejects this —
+// see tests/compile_fail/epoch_stamp_write.cc), so the fixture unseals the
+// class: what fires here is the semantic check, which also covers future
+// friends and vis-layer members that could name the stamps legally.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "vis/vis_graph.h"
+
+#define private public
+#include "vis/dijkstra.h"
+#undef private
+
+namespace {
+
+void WipeArena(conn::vis::ScanArena* arena) {
+  arena->dist_stamp_.clear();        // conn-tidy: expect
+  arena->settled_stamp_.resize(0);   // conn-tidy: expect
+  for (size_t i = 0; i < arena->seeded_stamp_.size(); ++i) {
+    arena->seeded_stamp_[i] = 0;     // conn-tidy: expect
+  }
+}
+
+}  // namespace
+
+int main() {
+  conn::vis::ScanArena arena;
+  WipeArena(&arena);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// conn-arena-epoch-reset must stay silent: scan state moves only through
+// the arena API — construct a scan (epoch bump) or Revalidate a warm one.
+
+#include "vis/dijkstra.h"
+
+namespace {
+
+double FurthestSettled(conn::vis::VisGraph* graph) {
+  conn::vis::ScanArena arena;
+  conn::vis::DijkstraScan scan(graph, {0.0, 0.0}, &arena);
+  conn::vis::VertexId v = 0;
+  double dist = 0.0;
+  int32_t pred = 0;
+  double last = 0.0;
+  while (scan.Next(&v, &dist, &pred)) last = dist;
+  scan.Revalidate();
+  return last;
+}
+
+}  // namespace
+
+int main() {
+  (void)&FurthestSettled;
+  return 0;
+}

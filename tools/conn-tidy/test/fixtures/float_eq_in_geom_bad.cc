@@ -1,0 +1,19 @@
+// conn-float-eq-in-geom MUST fire: computed floating values compared
+// exactly.  (The fixture test points the check's PathFilter at fixtures/;
+// in CI the default filter scopes it to src/geom/ and src/vis/.)
+
+namespace {
+
+bool SamePoint(double ax, double ay, double bx, double by) {
+  return ax == bx && ay == by;  // conn-tidy: expect
+}
+
+bool Moved(float before, float after) {
+  return before != after;  // conn-tidy: expect
+}
+
+}  // namespace
+
+int main() {
+  return SamePoint(0.1 + 0.2, 0.0, 0.3, 0.0) || Moved(1.0f, 1.0f) ? 0 : 1;
+}

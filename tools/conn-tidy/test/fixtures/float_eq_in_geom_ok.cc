@@ -1,0 +1,23 @@
+// conn-float-eq-in-geom must stay silent: eps-band comparison and the two
+// sanctioned exact idioms (literal-zero guards on assigned-never-computed
+// values, whether spelled 0.0 or 0).
+
+#include <cmath>
+
+namespace {
+
+constexpr double kEpsDist = 1e-9;
+
+bool NearlyEqual(double a, double b) { return std::fabs(a - b) < kEpsDist; }
+
+bool IsDegenerate(double len) { return len == 0.0; }
+
+bool IsUnset(float v) { return v == 0; }
+
+}  // namespace
+
+int main() {
+  return (NearlyEqual(0.1 + 0.2, 0.3) && IsDegenerate(0.0) && IsUnset(0.0f))
+             ? 0
+             : 1;
+}

@@ -1,0 +1,27 @@
+// conn-raw-sync-primitive MUST fire on every raw primitive below: a bare
+// std::mutex member, a std::condition_variable, and a std::lock_guard are
+// all invisible to -Wthread-safety, which is exactly why the repo routes
+// locking through common/mutex.h.
+
+#include <condition_variable>
+#include <mutex>
+
+namespace {
+
+struct Queue {
+  std::mutex mu;                  // conn-tidy: expect
+  std::condition_variable ready;  // conn-tidy: expect
+  int depth = 0;
+};
+
+int Drain(Queue* q) {
+  std::lock_guard<std::mutex> hold(q->mu);  // conn-tidy: expect
+  return q->depth;
+}
+
+}  // namespace
+
+int main() {
+  Queue q;
+  return Drain(&q);
+}

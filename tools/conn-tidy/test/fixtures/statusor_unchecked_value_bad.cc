@@ -1,0 +1,32 @@
+// conn-statusor-unchecked-value MUST fire: each access below takes a
+// StatusOr payload with no ok() check on THAT object earlier in the
+// function — including the classic near-miss where a different StatusOr
+// was the one checked.
+
+#include "common/status.h"
+
+namespace {
+
+conn::StatusOr<int> Parse();
+
+int UncheckedLocal() {
+  conn::StatusOr<int> got = Parse();
+  return got.value();  // conn-tidy: expect
+}
+
+int UncheckedTemporary() {
+  return Parse().value();  // conn-tidy: expect
+}
+
+int CheckedTheWrongOne(conn::StatusOr<int> a, conn::StatusOr<int> b) {
+  if (!a.ok()) return 0;
+  return b.value();  // conn-tidy: expect
+}
+
+int CheckedTooLate(conn::StatusOr<int> s) {
+  const int v = s.value();  // conn-tidy: expect
+  if (!s.ok()) return 0;
+  return v;
+}
+
+}  // namespace

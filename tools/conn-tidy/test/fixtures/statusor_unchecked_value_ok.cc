@@ -1,0 +1,32 @@
+// conn-statusor-unchecked-value must stay silent: both sanctioned guard
+// shapes, plus value() through std::move after the guard (the repo's
+// move-out idiom).
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace {
+
+conn::StatusOr<int> Parse();
+
+int GuardedByCheck() {
+  conn::StatusOr<int> got = Parse();
+  CONN_CHECK(got.ok());
+  return got.value();
+}
+
+int GuardedByEarlyReturn() {
+  conn::StatusOr<int> got = Parse();
+  if (!got.ok()) return -1;
+  return got.value();
+}
+
+int MovedOutAfterGuard() {
+  conn::StatusOr<int> got = Parse();
+  if (!got.ok()) return -1;
+  return std::move(got).value();
+}
+
+}  // namespace

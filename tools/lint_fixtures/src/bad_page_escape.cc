@@ -1,0 +1,12 @@
+// Known-bad fixture for lint_invariants.py's `page-escape` rule (fallback
+// tier, superseded by conn-pinnedpage-escape): binds a page() borrow to a
+// named Page reference outside src/storage/.  Never compiled.
+
+namespace conn {
+
+void Leaky(storage::PinnedPage& pp) {
+  const Page& view = pp.page();
+  (void)view;
+}
+
+}  // namespace conn

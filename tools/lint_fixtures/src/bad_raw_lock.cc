@@ -1,0 +1,15 @@
+// Known-bad fixture for lint_invariants.py's `raw-lock` rule (fallback
+// tier, superseded by conn-raw-sync-primitive).  Never compiled.
+
+#include <mutex>
+
+namespace conn {
+
+std::mutex g_lock;
+
+int Locked(int v) {
+  std::lock_guard<std::mutex> hold(g_lock);
+  return v;
+}
+
+}  // namespace conn

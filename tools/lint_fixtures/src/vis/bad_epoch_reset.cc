@@ -1,0 +1,11 @@
+// Known-bad fixture for lint_invariants.py's `epoch-reset` rule (fallback
+// tier, superseded by conn-arena-epoch-reset): names and bulk-resets a
+// stamp array outside src/vis/dijkstra.{h,cc}.  Never compiled.
+
+namespace conn {
+
+void Wipe(vis::ScanArena* arena) {
+  arena->dist_stamp_.clear();
+}
+
+}  // namespace conn
