@@ -160,6 +160,11 @@ void ReportStats(benchmark::State& state, const QueryStats& avg,
   state.counters["settled"] = static_cast<double>(avg.dijkstra_settled);
   state.counters["warm_restarts"] =
       static_cast<double>(avg.scan_warm_restarts);
+  state.counters["tick_warm"] = static_cast<double>(avg.tick_warm_starts);
+  state.counters["tick_frontier"] =
+      static_cast<double>(avg.tick_frontier_reuse);
+  state.counters["store_hits"] =
+      static_cast<double>(avg.cross_shard_store_hits);
 }
 
 }  // namespace bench

@@ -1,0 +1,119 @@
+// Moving-query subscription service: wave-over-wave tick-loop COkNN.
+//
+// A clustered fleet of clients subscribes with routes; every tick advances
+// each client one step and re-evaluates its COkNN.  Two variants:
+//
+//   BM_TicksWarm   — incremental loop: carried per-shard workspaces, the
+//                    cross-shard obstacle store, and the stationary-segment
+//                    memo all engaged (use_tick_warm_start on).
+//   BM_TicksFresh  — the reference: same service and sharding machinery,
+//                    but every tick evaluated from scratch (gate off).
+//
+// The equivalence suite proves the two produce bit-identical answers, so
+// the counters here are a pure performance statement.  Counters: qps
+// (client updates/sec across all ticks), p50_ms/p99_ms (per-query CPU
+// latency over the last iteration's updates), and the reuse counters
+// tick_warm / tick_frontier / store_hits.
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "datagen/fleet.h"
+#include "exec/subscription.h"
+
+namespace conn {
+namespace bench {
+namespace {
+
+size_t FleetClients() { return std::max<size_t>(16, BenchQueries() * 4); }
+
+constexpr uint64_t kTicks = 8;
+
+std::vector<exec::RouteSpec> TickFleet(size_t n, uint64_t seed) {
+  datagen::FleetOptions fopts;  // clustered depots, dyadic speeds
+  fopts.depots = std::max<size_t>(2, n / 8);
+  std::vector<exec::RouteSpec> routes;
+  for (datagen::FleetRoute& r :
+       datagen::MakeFleetRoutes(n, datagen::Workspace(), fopts, seed)) {
+    routes.push_back(exec::RouteSpec{std::move(r.waypoints), r.speed});
+  }
+  return routes;
+}
+
+double Percentile(std::vector<double>* v, double p) {
+  if (v->empty()) return 0.0;
+  std::sort(v->begin(), v->end());
+  const size_t idx =
+      static_cast<size_t>(p * static_cast<double>(v->size() - 1) + 0.5);
+  return (*v)[idx];
+}
+
+void RunTickBench(benchmark::State& state, bool warm) {
+  const Dataset& ds = GetDataset(datagen::PointDistribution::kUniform,
+                                 ScaledCa(), ScaledLa());
+  const std::vector<exec::RouteSpec> routes = TickFleet(FleetClients(), 4242);
+
+  exec::SubscriptionOptions opts;
+  opts.batch.target_shard_size = 8;
+  // Force sharing: this harness measures cross-tick reuse, not the
+  // adaptive locality guard (bench_batch covers the guard).  The default
+  // guard would decline depot-spanning shards at small bench scales and
+  // silently benchmark the per-query fallback instead.
+  opts.batch.share_locality_factor = 0.0;
+  opts.batch.query.use_tick_warm_start = warm;
+  opts.reshard_period = 4;
+
+  QueryStats totals;
+  std::vector<double> lat;
+  size_t updates = 0;
+  double elapsed = 0.0;
+  for (auto _ : state) {
+    exec::SubscriptionService service(*ds.tp, *ds.to, opts);
+    for (const exec::RouteSpec& r : routes) {
+      service.Subscribe(r, 5).value();
+    }
+    // Per-iteration totals (see bench_batch.cc): work counters must not
+    // scale with however many iterations the harness chooses.
+    totals = QueryStats{};
+    lat.clear();
+    updates = 0;
+    for (uint64_t tick = 0; tick < kTicks; ++tick) {
+      const exec::TickResult result = service.Tick();
+      benchmark::DoNotOptimize(result.updates.data());
+      elapsed += result.stats.wall_seconds;
+      totals += result.stats.per_query_totals;
+      updates += result.updates.size();
+      for (const exec::ClientUpdate& u : result.updates) {
+        if (u.result.has_value()) lat.push_back(u.result->stats.cpu_seconds);
+      }
+    }
+  }
+  state.counters["qps"] = benchmark::Counter(
+      static_cast<double>(updates) * state.iterations() / elapsed);
+  state.counters["p50_ms"] = Percentile(&lat, 0.50) * 1e3;
+  state.counters["p99_ms"] = Percentile(&lat, 0.99) * 1e3;
+  state.counters["tick_warm"] = static_cast<double>(totals.tick_warm_starts);
+  state.counters["tick_frontier"] =
+      static_cast<double>(totals.tick_frontier_reuse);
+  state.counters["store_hits"] =
+      static_cast<double>(totals.cross_shard_store_hits);
+}
+
+void BM_TicksWarm(benchmark::State& state) {
+  RunTickBench(state, /*warm=*/true);
+}
+BENCHMARK(BM_TicksWarm)->Unit(benchmark::kMillisecond);
+
+void BM_TicksFresh(benchmark::State& state) {
+  RunTickBench(state, /*warm=*/false);
+}
+BENCHMARK(BM_TicksFresh)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace conn
+
+BENCHMARK_MAIN();

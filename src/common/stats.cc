@@ -18,6 +18,9 @@ QueryStats& QueryStats::operator+=(const QueryStats& other) {
   visibility_tests += other.visibility_tests;
   seed_tests += other.seed_tests;
   scan_warm_restarts += other.scan_warm_restarts;
+  tick_warm_starts += other.tick_warm_starts;
+  tick_frontier_reuse += other.tick_frontier_reuse;
+  cross_shard_store_hits += other.cross_shard_store_hits;
   vr_cache_evictions += other.vr_cache_evictions;
   split_evaluations += other.split_evaluations;
   lemma1_prunes += other.lemma1_prunes;
@@ -41,6 +44,9 @@ QueryStats QueryStats::AveragedOver(uint64_t queries) const {
   avg.visibility_tests = visibility_tests / queries;
   avg.seed_tests = seed_tests / queries;
   avg.scan_warm_restarts = scan_warm_restarts / queries;
+  avg.tick_warm_starts = tick_warm_starts / queries;
+  avg.tick_frontier_reuse = tick_frontier_reuse / queries;
+  avg.cross_shard_store_hits = cross_shard_store_hits / queries;
   avg.vr_cache_evictions = vr_cache_evictions / queries;
   avg.split_evaluations = split_evaluations / queries;
   avg.lemma1_prunes = lemma1_prunes / queries;

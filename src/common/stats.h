@@ -33,6 +33,15 @@ struct QueryStats {
   uint64_t visibility_tests = 0;     ///< segment-vs-obstacle interior tests
   uint64_t seed_tests = 0;           ///< source->vertex seed sight-line tests
   uint64_t scan_warm_restarts = 0;   ///< IOR waves absorbed by Revalidate()
+
+  // --- tick-loop (subscription service) reuse ---
+  /// Queries served via cross-tick state (carried workspace or memo).
+  uint64_t tick_warm_starts = 0;
+  /// Dijkstra scans run on a tick-carried (warm) arena.
+  uint64_t tick_frontier_reuse = 0;
+  /// Obstacles pre-seeded from the cross-shard store.
+  uint64_t cross_shard_store_hits = 0;
+
   uint64_t vr_cache_evictions = 0;   ///< visible regions dropped on epoch bump
   uint64_t split_evaluations = 0;    ///< distance-curve crossing computations
   uint64_t lemma1_prunes = 0;        ///< RLU endpoint-dominance fast paths

@@ -115,6 +115,40 @@ CoknnResult CoknnQuery1T(const rtree::RStarTree& unified_tree,
                          const ConnOptions& opts = {},
                          QueryWorkspace* workspace = nullptr);
 
+/// Prior-tick state a moving-query subscription client carries into its
+/// next tick.  The workspace half of warm starting (the carried obstacle
+/// graph + scan arena) is already expressed through the \p workspace
+/// parameter — a tick-loop caller simply passes the *same* workspace it
+/// used last tick.  TickWarmStart adds the result half: the previous
+/// answer, enabling the stationary-segment memo.
+struct TickWarmStart {
+  /// Last tick's result for this client (null on the client's first tick,
+  /// or when the caller discarded it).  Must outlive the query call.
+  const CoknnResult* prior = nullptr;
+};
+
+/// COkNN for one tick of a moving query (two-tree configuration).  When
+/// `opts.use_tick_warm_start` is set and \p warm holds a prior result for
+/// the *identical* (segment, k) query — a client whose route paused or
+/// whose step landed on the same segment — the prior answer is re-reported
+/// without touching the trees (stats then carry `tick_warm_starts = 1` and
+/// no retrieval work).  Otherwise this is exactly CoknnQuery: reusing a
+/// cross-tick workspace is bit-identical to a fresh evaluation because the
+/// carried graph holds a superset of the query's Theorem-2 obstacle set.
+CoknnResult CoknnQueryTick(const rtree::RStarTree& data_tree,
+                           const rtree::RStarTree& obstacle_tree,
+                           const geom::Segment& q, size_t k,
+                           const TickWarmStart& warm,
+                           const ConnOptions& opts = {},
+                           QueryWorkspace* workspace = nullptr);
+
+/// Tick entry point for the unified-tree configuration (see CoknnQueryTick).
+CoknnResult CoknnQueryTick1T(const rtree::RStarTree& unified_tree,
+                             const geom::Segment& q, size_t k,
+                             const TickWarmStart& warm,
+                             const ConnOptions& opts = {},
+                             QueryWorkspace* workspace = nullptr);
+
 }  // namespace core
 }  // namespace conn
 

@@ -31,6 +31,16 @@ struct ConnOptions {
   /// the scan-arena equivalence suite compares against.
   bool use_warm_scan_restarts = true;
 
+  /// Cross-tick warm starts for moving-query subscriptions: successive
+  /// ticks of one client reuse the prior tick's workspace (obstacle graph
+  /// + scan arena) and short-circuit ticks whose query segment did not
+  /// move (CoknnQueryTick's prior-result memo).  Results are bit-identical
+  /// either way — reused graphs only ever hold a *superset* of the query's
+  /// Theorem-2 obstacle set, the same exactness argument as batch
+  /// workspace sharing; disabling selects the fresh evaluate-every-tick
+  /// reference path the subscription equivalence suite compares against.
+  bool use_tick_warm_start = true;
+
   /// Resolution of the local obstacle grid (cells per side).
   int grid_cells_per_side = 64;
 };

@@ -54,7 +54,16 @@ class QueryWorkspace {
   /// Unique obstacles accumulated so far.
   size_t ObstacleCount() const { return vg_.ObstacleCount(); }
 
+  /// The grid domain the graph was built over (tree bounds + query cover).
+  const geom::Rect& domain() const { return domain_; }
+
+  /// True iff \p cover lies inside the built domain — the tick loop's
+  /// carry-over check: a workspace stays valid while the (moving) queries
+  /// it serves remain inside the domain it was sized for.
+  bool Covers(const geom::Rect& cover) const { return domain_.Contains(cover); }
+
  private:
+  geom::Rect domain_;
   vis::VisGraph vg_;
   vis::ScanArena scan_arena_;
 };

@@ -1,0 +1,83 @@
+#include "datagen/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace conn {
+namespace datagen {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586;
+
+geom::Vec2 ClampInto(geom::Vec2 p, const geom::Rect& domain) {
+  return {std::clamp(p.x, domain.lo.x, domain.hi.x),
+          std::clamp(p.y, domain.lo.y, domain.hi.y)};
+}
+
+}  // namespace
+
+std::vector<FleetRoute> MakeFleetRoutes(size_t n, const geom::Rect& domain,
+                                        const FleetOptions& opts,
+                                        uint64_t seed) {
+  CONN_CHECK_MSG(opts.waypoints_per_route >= 1,
+                 "a route needs at least one waypoint");
+  CONN_CHECK_MSG(opts.speed > 0.0, "fleet speed must be > 0");
+  Rng rng(seed);
+
+  std::vector<geom::Vec2> depots;
+  if (opts.pattern == FleetPattern::kClustered) {
+    const size_t depot_count = std::max<size_t>(1, opts.depots);
+    depots.reserve(depot_count);
+    for (size_t d = 0; d < depot_count; ++d) {
+      depots.push_back({rng.Uniform(domain.lo.x, domain.hi.x),
+                        rng.Uniform(domain.lo.y, domain.hi.y)});
+    }
+  }
+
+  std::vector<FleetRoute> routes;
+  routes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    FleetRoute route;
+
+    geom::Vec2 pos;
+    if (opts.pattern == FleetPattern::kClustered) {
+      const geom::Vec2 depot = depots[i % depots.size()];
+      const double angle = rng.Uniform(0.0, kTwoPi);
+      const double radius = opts.depot_radius * std::sqrt(rng.NextDouble());
+      pos = ClampInto({depot.x + radius * std::cos(angle),
+                       depot.y + radius * std::sin(angle)},
+                      domain);
+    } else {
+      pos = {rng.Uniform(domain.lo.x, domain.hi.x),
+             rng.Uniform(domain.lo.y, domain.hi.y)};
+    }
+    route.waypoints.push_back(pos);
+
+    for (size_t w = 1; w < opts.waypoints_per_route; ++w) {
+      const double angle = rng.Uniform(0.0, kTwoPi);
+      const double len = opts.leg_length * rng.Uniform(0.5, 1.5);
+      pos = ClampInto(
+          {pos.x + len * std::cos(angle), pos.y + len * std::sin(angle)},
+          domain);
+      route.waypoints.push_back(pos);
+    }
+
+    if (opts.dyadic_speeds) {
+      // Scale by 2^{-1, 0, +1}: per-route variety, still exactly dyadic
+      // relative to the base speed.
+      const int exp = static_cast<int>(rng.UniformU64(3)) - 1;
+      route.speed = std::ldexp(opts.speed, exp);
+    } else {
+      route.speed = opts.speed * rng.Uniform(0.5, 1.5);
+    }
+    routes.push_back(std::move(route));
+  }
+  return routes;
+}
+
+}  // namespace datagen
+}  // namespace conn

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <thread>
+#include <utility>
 
 #include "common/check.h"
 #include "common/mutex.h"
 #include "common/timer.h"
 #include "core/workspace.h"
+#include "exec/obstacle_store.h"
 #include "exec/sharder.h"
 #include "exec/thread_pool.h"
 #include "geom/box.h"
@@ -16,17 +18,6 @@ namespace conn {
 namespace exec {
 
 namespace {
-
-/// Bounding rectangle of a shard's query segments (the workspace's extra
-/// grid cover beyond the trees' own bounds).
-geom::Rect ShardCover(const std::vector<BatchQuery>& queries,
-                      const std::vector<size_t>& shard) {
-  geom::Rect cover = queries[shard.front()].segment.Bounds();
-  for (size_t i = 1; i < shard.size(); ++i) {
-    cover = cover.ExpandedToCover(queries[shard[i]].segment.Bounds());
-  }
-  return cover;
-}
 
 /// Typical spacing between neighboring obstacles in \p tree — the natural
 /// length scale of a query's obstacle neighborhood.  Zero/short queries
@@ -62,7 +53,19 @@ bool ShardIsLocal(const std::vector<BatchQuery>& queries,
 /// themselves are points.
 constexpr double kSpacingFloorFactor = 8.0;
 
+/// \p r grown by margin \p m on every side — the pre-seeding relevance
+/// window around a cover (obstacles just outside a query's MBR still fall
+/// in its Theorem-2 search range).
+geom::Rect ExpandedBy(const geom::Rect& r, double m) {
+  return geom::Rect({r.lo.x - m, r.lo.y - m}, {r.hi.x + m, r.hi.y + m});
+}
+
 }  // namespace
+
+BatchPlan::BatchPlan() = default;
+BatchPlan::~BatchPlan() = default;
+BatchPlan::BatchPlan(BatchPlan&&) noexcept = default;
+BatchPlan& BatchPlan::operator=(BatchPlan&&) noexcept = default;
 
 BatchRunner::BatchRunner(const rtree::RStarTree& data_tree,
                          const rtree::RStarTree& obstacle_tree,
@@ -74,18 +77,51 @@ BatchRunner::BatchRunner(const rtree::RStarTree& unified_tree,
     : data_(&unified_tree), obstacles_(nullptr), opts_(opts) {}
 
 BatchResult BatchRunner::Run(const std::vector<BatchQuery>& queries) const {
+  // A throwaway plan: every shard starts fresh, exactly the original
+  // one-shot batch semantics.
+  BatchPlan plan;
+  return RunPlan(queries, &plan, /*store=*/nullptr);
+}
+
+void BatchRunner::Reshard(const std::vector<BatchQuery>& queries,
+                          BatchPlan* plan, ObstacleStore* store) const {
+  if (store != nullptr) {
+    for (BatchPlan::ShardState& state : plan->states_) {
+      if (state.workspace != nullptr) {
+        store->Harvest(state.workspace->graph()->obstacles(),
+                       state.harvest_mark);
+      }
+    }
+  }
+  plan->states_.clear();
+  plan->query_count_ = queries.size();
+
+  std::vector<geom::Segment> segments;
+  segments.reserve(queries.size());
+  for (const BatchQuery& q : queries) segments.push_back(q.segment);
+  for (std::vector<size_t>& shard :
+       ShardByLocality(segments, opts_.target_shard_size)) {
+    BatchPlan::ShardState state;
+    state.members = std::move(shard);
+    plan->states_.push_back(std::move(state));
+  }
+}
+
+BatchResult BatchRunner::RunPlan(const std::vector<BatchQuery>& queries,
+                                 BatchPlan* plan, ObstacleStore* store) const {
   Timer timer;
   BatchResult result;
   result.outcomes.resize(queries.size());
   result.stats.query_count = queries.size();
   if (queries.empty()) return result;
+  if (plan->query_count_ != queries.size() || plan->states_.empty()) {
+    Reshard(queries, plan, store);
+  }
+  result.stats.shard_count = plan->states_.size();
 
   std::vector<geom::Segment> segments;
   segments.reserve(queries.size());
   for (const BatchQuery& q : queries) segments.push_back(q.segment);
-  const std::vector<std::vector<size_t>> shards =
-      ShardByLocality(segments, opts_.target_shard_size);
-  result.stats.shard_count = shards.size();
 
   const uint64_t data_faults0 = data_->pager().faults();
   const uint64_t data_hits0 = data_->pager().hits();
@@ -97,7 +133,7 @@ BatchResult BatchRunner::Run(const std::vector<BatchQuery>& queries) const {
   size_t threads = opts_.num_threads != 0
                        ? opts_.num_threads
                        : std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min(threads, shards.size());
+  threads = std::min(threads, plan->states_.size());
   result.stats.threads_used = threads;
 
   const double extent_floor =
@@ -105,53 +141,125 @@ BatchResult BatchRunner::Run(const std::vector<BatchQuery>& queries) const {
           ? opts_.locality_extent_floor
           : kSpacingFloorFactor *
                 ObstacleSpacing(obstacles_ != nullptr ? *obstacles_ : *data_);
+  const bool warm_gate = opts_.query.use_tick_warm_start;
 
   Mutex stats_mu;
-  auto run_shard = [&](const std::vector<size_t>& shard) {
-    std::optional<core::QueryWorkspace> workspace;
+  auto run_shard = [&](BatchPlan::ShardState& state) {
+    uint64_t store_hits = 0;
+    size_t carried = 0;
+    bool share = false;
     if (opts_.share_workspace) {
-      const geom::Rect cover = ShardCover(queries, shard);
-      if (ShardIsLocal(queries, shard, cover, opts_.share_locality_factor,
-                       extent_floor)) {
-        workspace.emplace(data_, obstacles_, cover);
+      const geom::Rect cover = ShardCover(segments, state.members);
+      share = ShardIsLocal(queries, state.members, cover,
+                           opts_.share_locality_factor, extent_floor);
+      if (share) {
+        if (warm_gate && state.workspace != nullptr &&
+            state.workspace->Covers(cover)) {
+          // Cross-run warm path: the carried workspace's domain still
+          // covers the (moved) queries, so its graph — a superset of every
+          // member's Theorem-2 obstacle set — and its scan arena serve
+          // this run as-is.
+          carried = 1;
+        } else {
+          if (state.workspace != nullptr && store != nullptr) {
+            store->Harvest(state.workspace->graph()->obstacles(),
+                           state.harvest_mark);
+          }
+          state.workspace = std::make_unique<core::QueryWorkspace>(
+              data_, obstacles_, cover);
+          state.reuse_hits_mark = 0;
+          state.obstacles_mark = 0;
+          state.harvest_mark = 0;
+          if (store != nullptr) {
+            store_hits += store->PreSeed(state.workspace->graph(),
+                                         ExpandedBy(cover, extent_floor));
+          }
+        }
       }
     }
-    core::QueryWorkspace* ws = workspace ? &*workspace : nullptr;
+    if (!share && state.workspace != nullptr) {
+      // The guard stopped sharing (the shard's queries drifted apart):
+      // retire the carried workspace, banking its retrieval in the store.
+      if (store != nullptr) {
+        store->Harvest(state.workspace->graph()->obstacles(),
+                       state.harvest_mark);
+      }
+      state.workspace.reset();
+      state.reuse_hits_mark = 0;
+      state.obstacles_mark = 0;
+      state.harvest_mark = 0;
+    }
+
     QueryStats shard_totals;
-    for (size_t idx : shard) {
+    for (size_t idx : state.members) {
       const BatchQuery& q = queries[idx];
       QueryOutcome& out = result.outcomes[idx];
+      core::QueryWorkspace* ws = state.workspace.get();
+      // Guard-declined traffic still reuses earlier retrieval: a
+      // per-query graph pre-seeded from the cross-shard store.
+      std::optional<core::QueryWorkspace> query_ws;
+      if (ws == nullptr && store != nullptr && opts_.share_workspace) {
+        query_ws.emplace(data_, obstacles_, q.segment.Bounds());
+        store_hits += store->PreSeed(
+            query_ws->graph(), ExpandedBy(q.segment.Bounds(), extent_floor));
+        ws = &*query_ws;
+      }
+      QueryStats* out_stats = nullptr;
       if (q.kind == BatchQuery::Kind::kConn) {
         out.conn = obstacles_ != nullptr
                        ? core::ConnQuery(*data_, *obstacles_, q.segment,
                                          opts_.query, ws)
                        : core::ConnQuery1T(*data_, q.segment, opts_.query, ws);
-        shard_totals += out.conn->stats;
+        out_stats = &out.conn->stats;
       } else {
-        out.coknn =
-            obstacles_ != nullptr
-                ? core::CoknnQuery(*data_, *obstacles_, q.segment, q.k,
-                                   opts_.query, ws)
-                : core::CoknnQuery1T(*data_, q.segment, q.k, opts_.query, ws);
-        shard_totals += out.coknn->stats;
+        const core::TickWarmStart warm{q.prior};
+        out.coknn = obstacles_ != nullptr
+                        ? core::CoknnQueryTick(*data_, *obstacles_, q.segment,
+                                               q.k, warm, opts_.query, ws)
+                        : core::CoknnQueryTick1T(*data_, q.segment, q.k, warm,
+                                                 opts_.query, ws);
+        out_stats = &out.coknn->stats;
+      }
+      if (carried != 0) {
+        // The query ran on cross-run state: mark it (unless the
+        // stationary-segment memo already did) and credit its Dijkstra
+        // scans to the carried arena.
+        if (out_stats->tick_warm_starts == 0) out_stats->tick_warm_starts = 1;
+        out_stats->tick_frontier_reuse += out_stats->dijkstra_runs;
+      }
+      shard_totals += *out_stats;
+      if (query_ws && store != nullptr) {
+        store->Harvest(query_ws->graph()->obstacles(), 0);
       }
     }
+    shard_totals.cross_shard_store_hits += store_hits;
+    if (state.workspace != nullptr && store != nullptr) {
+      state.harvest_mark = store->Harvest(
+          state.workspace->graph()->obstacles(), state.harvest_mark);
+    }
+
     MutexLock lock(stats_mu);
     result.stats.per_query_totals += shard_totals;
-    if (workspace) {
-      result.stats.obstacle_reuse_hits += workspace->ObstacleReuseHits();
-      result.stats.obstacles_inserted += workspace->ObstacleCount();
+    result.stats.cross_shard_store_hits += store_hits;
+    result.stats.shards_carried += carried;
+    if (state.workspace != nullptr) {
+      result.stats.obstacle_reuse_hits +=
+          state.workspace->ObstacleReuseHits() - state.reuse_hits_mark;
+      result.stats.obstacles_inserted +=
+          state.workspace->ObstacleCount() - state.obstacles_mark;
+      state.reuse_hits_mark = state.workspace->ObstacleReuseHits();
+      state.obstacles_mark = state.workspace->ObstacleCount();
     }
   };
 
   if (threads <= 1) {
     // Single worker: run inline, sparing the pool round-trip (and keeping
     // single-core batch runs trivially deterministic to profile).
-    for (const std::vector<size_t>& shard : shards) run_shard(shard);
+    for (BatchPlan::ShardState& state : plan->states_) run_shard(state);
   } else {
     ThreadPool pool(threads);
-    for (const std::vector<size_t>& shard : shards) {
-      pool.Submit([&run_shard, &shard] { run_shard(shard); });
+    for (BatchPlan::ShardState& state : plan->states_) {
+      pool.Submit([&run_shard, &state] { run_shard(state); });
     }
     pool.WaitIdle();
   }

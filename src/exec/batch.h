@@ -26,6 +26,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -39,6 +40,8 @@
 namespace conn {
 namespace exec {
 
+class ObstacleStore;  // exec/obstacle_store.h — cross-shard obstacle cache
+
 /// One query of a batch.
 struct BatchQuery {
   enum class Kind { kConn, kCoknn };
@@ -47,11 +50,20 @@ struct BatchQuery {
   geom::Segment segment;
   size_t k = 1;  ///< COkNN only
 
+  /// Last tick's result for this query's client (tick-loop callers only;
+  /// must outlive the run).  Enables the stationary-segment memo of
+  /// core::CoknnQueryTick under ConnOptions::use_tick_warm_start.
+  const core::CoknnResult* prior = nullptr;
+
   static BatchQuery Conn(const geom::Segment& q) {
     return BatchQuery{Kind::kConn, q, 1};
   }
   static BatchQuery Coknn(const geom::Segment& q, size_t k) {
     return BatchQuery{Kind::kCoknn, q, k};
+  }
+  static BatchQuery CoknnTick(const geom::Segment& q, size_t k,
+                              const core::CoknnResult* prior) {
+    return BatchQuery{Kind::kCoknn, q, k, prior};
   }
 };
 
@@ -106,8 +118,17 @@ struct BatchStats {
   /// the obstacle — the work saved by workspace sharing.
   uint64_t obstacle_reuse_hits = 0;
 
-  /// Unique obstacles inserted across all shard workspaces.
+  /// Unique obstacles inserted across all shard workspaces (this run's
+  /// growth only, for plans carrying workspaces across runs).
   uint64_t obstacles_inserted = 0;
+
+  /// RunPlan only: shards that served this run on a workspace carried
+  /// from a previous run (the tick loop's cross-tick warm path).
+  size_t shards_carried = 0;
+
+  /// RunPlan only: obstacles pre-seeded into fresh graphs from the
+  /// cross-shard ObstacleStore (also in per_query_totals).
+  uint64_t cross_shard_store_hits = 0;
 
   /// Batch-level pager deltas (single-threaded snapshots around the run).
   uint64_t data_page_faults = 0;
@@ -132,9 +153,55 @@ struct BatchResult {
   BatchStats stats;
 };
 
+/// Persistent sharding of a recurring batch — the tick loop's sticky
+/// client→shard assignment.  A plan pins which query indices run
+/// together and carries each shard's workspace (obstacle graph + scan
+/// arena) from one RunPlan() to the next, so consecutive ticks of the
+/// same and nearby clients reuse retrieval instead of rebuilding.
+/// Create empty, then let BatchRunner::Reshard / RunPlan populate it; a
+/// plan is bound to the query *positions* (index i of every run is the
+/// same logical client), which the caller maintains.
+class BatchPlan {
+ public:
+  BatchPlan();
+  ~BatchPlan();
+  BatchPlan(BatchPlan&&) noexcept;
+  BatchPlan& operator=(BatchPlan&&) noexcept;
+  BatchPlan(const BatchPlan&) = delete;
+  BatchPlan& operator=(const BatchPlan&) = delete;
+
+  /// Number of queries the current sharding was derived for (0 = empty).
+  size_t query_count() const { return query_count_; }
+
+  size_t shard_count() const { return states_.size(); }
+
+ private:
+  friend class BatchRunner;
+
+  /// One sticky shard and its cross-run state.
+  struct ShardState {
+    std::vector<size_t> members;  ///< query indices, in shard order
+
+    /// Carried workspace (null until the shard first shares, or after the
+    /// locality guard declines).
+    std::unique_ptr<core::QueryWorkspace> workspace;
+
+    // Watermarks making cross-run accounting and store harvesting
+    // incremental: a carried workspace's counters accumulate for its
+    // lifetime, but each run must report only its own growth.
+    uint64_t reuse_hits_mark = 0;  ///< DuplicateObstacleSkips at last run end
+    uint64_t obstacles_mark = 0;   ///< ObstacleCount at last run end
+    size_t harvest_mark = 0;       ///< ObstacleStore::Harvest watermark
+  };
+
+  std::vector<ShardState> states_;
+  size_t query_count_ = 0;
+};
+
 /// Executes batches of CONN/COkNN queries against one tree configuration.
 /// The trees must outlive the runner and must not be modified while a
-/// batch runs.  Run() is const and reentrant.
+/// batch runs.  Run() is const and reentrant; RunPlan() is reentrant for
+/// distinct plans.
 class BatchRunner {
  public:
   /// 2-tree configuration (the paper's default).
@@ -147,6 +214,26 @@ class BatchRunner {
                        const BatchOptions& opts = {});
 
   BatchResult Run(const std::vector<BatchQuery>& queries) const;
+
+  /// Re-derives \p plan's sticky sharding from the queries' current
+  /// segments, dropping carried workspaces — which are first harvested
+  /// into \p store (when non-null), so the rebuilt shards pre-seed from
+  /// the store instead of re-retrieving.  Tick-loop callers invoke this
+  /// when batch membership changes and periodically as routes drift away
+  /// from the assignment they were sharded under.
+  void Reshard(const std::vector<BatchQuery>& queries, BatchPlan* plan,
+               ObstacleStore* store = nullptr) const;
+
+  /// Runs \p queries under \p plan's sticky sharding, carrying per-shard
+  /// workspaces across calls (gated by ConnOptions::use_tick_warm_start;
+  /// when off every shard rebuilds, reproducing Run()'s fresh semantics).
+  /// An empty or size-mismatched plan is reshard()ed first.  \p store,
+  /// when non-null, pre-seeds fresh graphs — including per-query graphs
+  /// of shards the locality guard declined to share — and is kept current
+  /// by harvesting every workspace after its shard completes.  Results
+  /// are bit-identical to Run() on the same queries.
+  BatchResult RunPlan(const std::vector<BatchQuery>& queries, BatchPlan* plan,
+                      ObstacleStore* store = nullptr) const;
 
   const BatchOptions& options() const { return opts_; }
 

@@ -1,0 +1,44 @@
+#include "exec/obstacle_store.h"
+
+namespace conn {
+namespace exec {
+
+size_t ObstacleStore::Harvest(const vis::ObstacleSet& set, size_t from) {
+  const size_t end = set.size();
+  if (from >= end) return end;
+  MutexLock lock(mu_);
+  for (size_t i = from; i < end; ++i) {
+    const rtree::ObjectId id = set.id(static_cast<uint32_t>(i));
+    if (ids_.insert(id).second) {
+      entries_.emplace_back(id, set.rect(static_cast<uint32_t>(i)));
+    }
+  }
+  return end;
+}
+
+uint64_t ObstacleStore::PreSeed(vis::VisGraph* graph,
+                                const geom::Rect& region) const {
+  // Copy the relevant slice out under the latch; the graph insertions —
+  // the expensive part — run on the caller's (shard-local) graph without
+  // serializing sibling shards.
+  std::vector<std::pair<rtree::ObjectId, geom::Rect>> relevant;
+  {
+    MutexLock lock(mu_);
+    for (const auto& [id, rect] : entries_) {
+      if (rect.Intersects(region)) relevant.emplace_back(id, rect);
+    }
+  }
+  uint64_t inserted = 0;
+  for (const auto& [id, rect] : relevant) {
+    if (graph->AddObstacle(rect, id)) ++inserted;
+  }
+  return inserted;
+}
+
+size_t ObstacleStore::size() const {
+  MutexLock lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace exec
+}  // namespace conn

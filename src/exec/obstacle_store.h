@@ -1,0 +1,65 @@
+// Cross-shard obstacle cache with the lifetime of a recurring batch.
+//
+// Workspace sharing (core/workspace.h) amortizes obstacle retrieval across
+// the queries of one shard, but nothing survives the shard: traffic the
+// adaptive locality guard declines to share, and shards whose workspaces
+// are dropped by a tick-loop reshard, re-retrieve obstacles the batch has
+// already paid for.  The ObstacleStore keeps every obstacle any workspace
+// ever retrieved as a plain (id, rect) record; new, rebuilt, and per-query
+// workspaces pre-seed their graphs from it instead of going back to the
+// R-tree.  Exactness is unaffected: stored entries are real dataset
+// obstacles, and a graph holding extra real obstacles beyond a query's
+// Theorem-2 search range yields bit-identical obstructed distances — the
+// same superset argument that makes workspace sharing exact.
+
+#ifndef CONN_EXEC_OBSTACLE_STORE_H_
+#define CONN_EXEC_OBSTACLE_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "geom/box.h"
+#include "rtree/entry.h"
+#include "vis/obstacle_set.h"
+#include "vis/vis_graph.h"
+
+namespace conn {
+namespace exec {
+
+/// Thread-safe append-only (id, rect) cache of retrieved obstacles.
+class ObstacleStore {
+ public:
+  ObstacleStore() = default;
+  ObstacleStore(const ObstacleStore&) = delete;
+  ObstacleStore& operator=(const ObstacleStore&) = delete;
+
+  /// Remembers obstacles [\p from, set.size()) of a workspace's obstacle
+  /// set.  The set is append-only, so \p from — the value this call
+  /// returned last time for the same set, 0 initially — makes repeated
+  /// harvests of a long-lived workspace incremental.  Returns the new
+  /// watermark, set.size().
+  size_t Harvest(const vis::ObstacleSet& set, size_t from);
+
+  /// Inserts every stored obstacle intersecting \p region into \p graph
+  /// (AddObstacle deduplicates by id against the graph's own set).
+  /// Returns the number of obstacles actually inserted — the retrieval
+  /// work the pre-seeded graph will not repeat.
+  uint64_t PreSeed(vis::VisGraph* graph, const geom::Rect& region) const;
+
+  /// Unique obstacles remembered so far.
+  size_t size() const;
+
+ private:
+  mutable Mutex mu_;
+  std::vector<std::pair<rtree::ObjectId, geom::Rect>> entries_ GUARDED_BY(mu_);
+  std::unordered_set<rtree::ObjectId> ids_ GUARDED_BY(mu_);
+};
+
+}  // namespace exec
+}  // namespace conn
+
+#endif  // CONN_EXEC_OBSTACLE_STORE_H_

@@ -65,5 +65,14 @@ std::vector<std::vector<size_t>> ShardByLocality(
   return shards;
 }
 
+geom::Rect ShardCover(const std::vector<geom::Segment>& queries,
+                      const std::vector<size_t>& shard) {
+  geom::Rect cover = queries[shard.front()].Bounds();
+  for (size_t i = 1; i < shard.size(); ++i) {
+    cover = cover.ExpandedToCover(queries[shard[i]].Bounds());
+  }
+  return cover;
+}
+
 }  // namespace exec
 }  // namespace conn

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "geom/box.h"
 #include "geom/segment.h"
 
 namespace conn {
@@ -26,6 +27,13 @@ namespace exec {
 /// deterministic order (ties broken by index).
 std::vector<std::vector<size_t>> ShardByLocality(
     const std::vector<geom::Segment>& queries, size_t target_shard_size);
+
+/// Bounding rectangle of one shard's query segments — the workspace's
+/// extra grid cover beyond the trees' own bounds, and the rectangle the
+/// tick loop re-checks against a carried workspace's domain.  \p shard
+/// must be non-empty and index into \p queries.
+geom::Rect ShardCover(const std::vector<geom::Segment>& queries,
+                      const std::vector<size_t>& shard);
 
 }  // namespace exec
 }  // namespace conn

@@ -2,14 +2,22 @@
 // points walled off or sitting on obstacle corners, duplicate points,
 // obstacle-dense pockets, and boundary-touching geometry.  The engine must
 // stay correct (verified against the oracle) and must never crash or hang.
+// The subscription-service section injects per-client failures into the
+// tick loop: a failing client must be quarantined and reported without
+// poisoning its siblings' warm state.
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/coknn.h"
 #include "core/conn.h"
 #include "core/naive.h"
+#include "exec/subscription.h"
 #include "test_util.h"
 
 namespace conn {
@@ -147,6 +155,124 @@ TEST(FailureInjectionTest, CoknnWithKLargerThanDataset) {
   for (const CoknnTuple& t : r.tuples) {
     EXPECT_EQ(t.candidates.size(), 2u);  // only 2 points exist
   }
+}
+
+exec::RouteSpec MakeRoute(Rng* rng) {
+  exec::RouteSpec r;
+  geom::Vec2 pos{rng->Uniform(200, 800), rng->Uniform(200, 800)};
+  r.waypoints.push_back(pos);
+  for (int leg = 0; leg < 3; ++leg) {
+    pos.x = std::clamp(pos.x + rng->Uniform(-250.0, 250.0), 0.0, 1000.0);
+    pos.y = std::clamp(pos.y + rng->Uniform(-250.0, 250.0), 0.0, 1000.0);
+    r.waypoints.push_back(pos);
+  }
+  r.speed = 64.0;
+  return r;
+}
+
+void ExpectCoknnBitIdentical(const CoknnResult& got, const CoknnResult& want) {
+  ASSERT_EQ(got.unreachable.intervals().size(),
+            want.unreachable.intervals().size());
+  for (size_t i = 0; i < got.unreachable.intervals().size(); ++i) {
+    EXPECT_EQ(got.unreachable.intervals()[i].lo,
+              want.unreachable.intervals()[i].lo);
+    EXPECT_EQ(got.unreachable.intervals()[i].hi,
+              want.unreachable.intervals()[i].hi);
+  }
+  ASSERT_EQ(got.tuples.size(), want.tuples.size());
+  for (size_t i = 0; i < got.tuples.size(); ++i) {
+    EXPECT_EQ(got.tuples[i].range.lo, want.tuples[i].range.lo);
+    EXPECT_EQ(got.tuples[i].range.hi, want.tuples[i].range.hi);
+    ASSERT_EQ(got.tuples[i].candidates.size(),
+              want.tuples[i].candidates.size());
+    for (size_t c = 0; c < got.tuples[i].candidates.size(); ++c) {
+      EXPECT_EQ(got.tuples[i].candidates[c].pid,
+                want.tuples[i].candidates[c].pid);
+      EXPECT_EQ(got.tuples[i].candidates[c].cp,
+                want.tuples[i].candidates[c].cp);
+      EXPECT_EQ(got.tuples[i].candidates[c].offset,
+                want.tuples[i].candidates[c].offset);
+    }
+  }
+}
+
+TEST(FailureInjectionTest, TickLoopQuarantinesFailingClientWithoutPoison) {
+  // One client's per-tick query starts failing at tick 2.  It must be
+  // reported with the error once, quarantined from then on, and its
+  // siblings' answers must stay bit-identical to a run with no failure —
+  // the shared warm state (carried workspaces, obstacle store) must not
+  // be poisoned by the victim's disappearance.
+  const testutil::Scene scene = testutil::MakeScene(4242, 120, 50);
+  const rtree::RStarTree tp = testutil::MakePointTree(scene);
+  const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
+
+  Rng rng(0xFA11);
+  std::vector<exec::RouteSpec> routes;
+  for (int i = 0; i < 6; ++i) routes.push_back(MakeRoute(&rng));
+
+  exec::SubscriptionOptions base;
+  base.batch.num_threads = 1;
+  base.batch.target_shard_size = 3;
+  base.batch.share_locality_factor = 0.0;
+  base.reshard_period = 3;
+
+  exec::SubscriptionService healthy(tp, to, base);
+  std::vector<int64_t> healthy_ids;
+  for (const exec::RouteSpec& r : routes) {
+    healthy_ids.push_back(healthy.Subscribe(r, 2).value());
+  }
+
+  // Ids are assigned in subscribe order, so the two services agree on who
+  // the victim is.
+  const int64_t victim = healthy_ids[2];
+  exec::SubscriptionOptions faulty = base;
+  faulty.failure_injector = [victim](int64_t client, uint64_t tick) {
+    if (client == victim && tick >= 2) {
+      return Status::InvalidArgument("injected tick fault");
+    }
+    return Status::OK();
+  };
+  exec::SubscriptionService svc(tp, to, faulty);
+  std::vector<int64_t> ids;
+  for (const exec::RouteSpec& r : routes) {
+    ids.push_back(svc.Subscribe(r, 2).value());
+  }
+  ASSERT_EQ(ids, healthy_ids);
+
+  uint64_t warm_starts = 0;
+  for (uint64_t tick = 0; tick < 6; ++tick) {
+    SCOPED_TRACE("tick " + std::to_string(tick));
+    const exec::TickResult got = svc.Tick();
+    const exec::TickResult want = healthy.Tick();
+    warm_starts += got.stats.per_query_totals.tick_warm_starts;
+
+    // Tick 2 reports the victim's error once; later ticks exclude it.
+    const size_t expected_updates = tick <= 2 ? 6 : 5;
+    ASSERT_EQ(got.updates.size(), expected_updates);
+    EXPECT_EQ(got.quarantined_now, tick == 2 ? size_t{1} : size_t{0});
+
+    for (const exec::ClientUpdate& u : got.updates) {
+      SCOPED_TRACE("client " + std::to_string(u.client));
+      if (u.client == victim && tick == 2) {
+        EXPECT_FALSE(u.status.ok());
+        EXPECT_FALSE(u.result.has_value());
+        continue;
+      }
+      ASSERT_TRUE(u.status.ok());
+      ASSERT_TRUE(u.result.has_value());
+      // Find the same client in the no-failure run and demand bit-identity.
+      const auto it =
+          std::find_if(want.updates.begin(), want.updates.end(),
+                       [&](const exec::ClientUpdate& w) {
+                         return w.client == u.client;
+                       });
+      ASSERT_NE(it, want.updates.end());
+      EXPECT_EQ(u.segment, it->segment);
+      ExpectCoknnBitIdentical(*u.result, *it->result);
+    }
+  }
+  EXPECT_EQ(svc.quarantined_clients(), size_t{1});
+  EXPECT_GT(warm_starts, 0u) << "warm path never engaged; test is vacuous";
 }
 
 TEST(FailureInjectionTest, ReversedQuerySegmentIsSymmetric) {

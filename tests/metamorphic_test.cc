@@ -3,12 +3,21 @@
 // transform the answer exactly — same split-point structure, distances
 // scaled accordingly.  These catch coordinate-dependence bugs no direct
 // oracle comparison would isolate.
+//
+// Tick-loop metamorphics extend the same idea to the subscription
+// service: translating the whole scene together with the routes, and
+// re-ticking a route at half step size, must not change the reported
+// (point, odist) answers along the visited segments.
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/conn.h"
+#include "exec/subscription.h"
 #include "test_util.h"
 
 namespace conn {
@@ -101,6 +110,147 @@ TEST_P(Metamorphic, PointIdPermutationInvariance) {
       EXPECT_EQ(std::isinf(da), std::isinf(db)) << "t=" << t;
     } else {
       EXPECT_NEAR(da, db, 1e-9 * (1 + da)) << "t=" << t;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tick-loop metamorphics.
+// ---------------------------------------------------------------------------
+
+/// A 3-leg axis-aligned route with integer waypoints, leg length 256, and
+/// speed 64: every tick boundary's absolute arc value is exactly
+/// representable and tick chords lie exactly on the legs, so a half-step
+/// schedule (speed 32) visits bit-identical positions — its segments are
+/// exactly the halves of the full-step segments.
+exec::RouteSpec MakeAxisRoute(Rng* rng) {
+  exec::RouteSpec r;
+  geom::Vec2 pos{std::floor(rng->Uniform(300.0, 700.0)),
+                 std::floor(rng->Uniform(300.0, 700.0))};
+  r.waypoints.push_back(pos);
+  for (int leg = 0; leg < 3; ++leg) {
+    const bool horizontal = (rng->NextU64() & 1) != 0;
+    double dir = (rng->NextU64() & 1) != 0 ? 1.0 : -1.0;
+    double& coord = horizontal ? pos.x : pos.y;
+    if (coord + dir * 256.0 < 0.0 || coord + dir * 256.0 > 1000.0) dir = -dir;
+    coord += dir * 256.0;
+    r.waypoints.push_back(pos);
+  }
+  r.speed = 64.0;
+  return r;
+}
+
+/// The k-NN ids at parameter \p t as a set (sorted: rank order may
+/// legitimately flip between near-equal candidates under FP perturbation).
+std::vector<int64_t> SortedKnn(const CoknnResult& r, double t) {
+  std::vector<int64_t> ids = r.KnnAt(t);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST_P(Metamorphic, TickTranslationInvariance) {
+  // Translating the scene together with the routes must not change which
+  // points a moving client sees at any tick, nor (within tolerance) at
+  // what obstructed distance.
+  const testutil::Scene base = testutil::MakeScene(GetParam() ^ 0x71C4, 40, 15);
+  testutil::Scene moved = base;
+  const geom::Vec2 delta{137.25, -42.75};
+  for (auto& p : moved.points) p += delta;
+  for (auto& o : moved.obstacles) {
+    o.lo += delta;
+    o.hi += delta;
+  }
+
+  Rng rng(GetParam() ^ 0x60A7);
+  const exec::RouteSpec route = MakeAxisRoute(&rng);
+  exec::RouteSpec moved_route = route;
+  for (geom::Vec2& w : moved_route.waypoints) w += delta;
+
+  const rtree::RStarTree tp_a = testutil::MakePointTree(base);
+  const rtree::RStarTree to_a = testutil::MakeObstacleTree(base);
+  const rtree::RStarTree tp_b = testutil::MakePointTree(moved);
+  const rtree::RStarTree to_b = testutil::MakeObstacleTree(moved);
+
+  exec::SubscriptionOptions opts;
+  opts.batch.num_threads = 1;
+  exec::SubscriptionService sa(tp_a, to_a, opts);
+  exec::SubscriptionService sb(tp_b, to_b, opts);
+  ASSERT_TRUE(sa.Subscribe(route, 2).ok());
+  ASSERT_TRUE(sb.Subscribe(moved_route, 2).ok());
+
+  for (int tick = 0; tick < 6; ++tick) {
+    SCOPED_TRACE("tick " + std::to_string(tick));
+    const exec::TickResult ra = sa.Tick();
+    const exec::TickResult rb = sb.Tick();
+    ASSERT_EQ(ra.updates.size(), 1u);
+    ASSERT_EQ(rb.updates.size(), 1u);
+    const CoknnResult& a = *ra.updates[0].result;
+    const CoknnResult& b = *rb.updates[0].result;
+
+    ASSERT_EQ(a.tuples.size(), b.tuples.size());
+    for (size_t i = 0; i < a.tuples.size(); ++i) {
+      const double mid = a.tuples[i].range.Mid();
+      EXPECT_EQ(SortedKnn(a, mid), SortedKnn(b, mid)) << "tuple " << i;
+      for (size_t j = 0; j < a.tuples[i].candidates.size(); ++j) {
+        const double da = a.OdistAt(mid, j);
+        const double db = b.OdistAt(mid, j);
+        EXPECT_NEAR(db, da, 1e-6 * (1.0 + da)) << "tuple " << i << " j " << j;
+      }
+    }
+  }
+}
+
+TEST_P(Metamorphic, HalfStepTickInvariance) {
+  // Re-ticking the same route at half step size covers the same arc with
+  // twice as many segments; the reported answers along each visited
+  // segment must not change.  Dyadic geometry (see MakeAxisRoute) makes
+  // the half-step endpoints bit-identical, so point sets compare exactly.
+  const testutil::Scene scene =
+      testutil::MakeScene(GetParam() ^ 0x4A1F, 40, 15);
+  const rtree::RStarTree tp = testutil::MakePointTree(scene);
+  const rtree::RStarTree to = testutil::MakeObstacleTree(scene);
+
+  Rng rng(GetParam() ^ 0x57E9);
+  const exec::RouteSpec full = MakeAxisRoute(&rng);
+  exec::RouteSpec half = full;
+  half.speed = 32.0;
+
+  exec::SubscriptionOptions opts;
+  opts.batch.num_threads = 1;
+  exec::SubscriptionService sf(tp, to, opts);
+  exec::SubscriptionService sh(tp, to, opts);
+  ASSERT_TRUE(sf.Subscribe(full, 2).ok());
+  ASSERT_TRUE(sh.Subscribe(half, 2).ok());
+
+  for (int tick = 0; tick < 6; ++tick) {
+    SCOPED_TRACE("tick " + std::to_string(tick));
+    const exec::TickResult rf = sf.Tick();
+    const exec::TickResult rh0 = sh.Tick();
+    const exec::TickResult rh1 = sh.Tick();
+    const CoknnResult& a = *rf.updates[0].result;
+    const CoknnResult& h0 = *rh0.updates[0].result;
+    const CoknnResult& h1 = *rh1.updates[0].result;
+
+    ASSERT_TRUE(h0.query.a == a.query.a);
+    ASSERT_TRUE(h1.query.b == a.query.b);
+    ASSERT_TRUE(h0.query.b == h1.query.a);
+
+    // Probe interior offsets of the full-step segment (arc-length
+    // parameters, away from tuple boundaries at the segment ends).
+    for (const double u : {8.0, 16.0, 24.0, 40.0, 48.0, 56.0}) {
+      SCOPED_TRACE("offset " + std::to_string(u));
+      const CoknnResult& hb = u < 32.0 ? h0 : h1;
+      const double tb = u < 32.0 ? u : u - 32.0;
+      EXPECT_EQ(SortedKnn(a, u), SortedKnn(hb, tb));
+      for (size_t j = 0; j < 2; ++j) {
+        const double da = a.OdistAt(u, j);
+        const double db = hb.OdistAt(tb, j);
+        if (std::isinf(da) || std::isinf(db)) {
+          EXPECT_EQ(std::isinf(da), std::isinf(db)) << "j " << j;
+        } else {
+          EXPECT_NEAR(db, da, 1e-9 * (1.0 + da)) << "j " << j;
+        }
+      }
     }
   }
 }

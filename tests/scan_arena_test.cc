@@ -91,6 +91,87 @@ TEST(ScanArenaWarmTest, RevalidateMatchesFreshScanOnRandomScenes) {
   }
 }
 
+TEST(ScanArenaWarmTest, MultiWaveRevalidateMatchesFreshScanAfterEveryWave) {
+  // The tick loop re-drives Revalidate on a long-lived scan arena wave
+  // after wave; one warm restart being exact does not imply the fifth is
+  // (rollback bookkeeping compounds).  2-5 successive waves on one live
+  // scan, fully drained and checked against a fresh scan after EVERY
+  // wave: same settled count, and bit-identical distance per vertex.
+  const geom::Rect domain({-5, -5}, {105, 105});
+  for (uint64_t trial = 0; trial < 25; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    Rng rng(0xB0B5C + trial);
+    vis::VisGraph g(domain);
+    rtree::ObjectId next_id = 0;
+    const size_t initial = 2 + rng.UniformU64(4);
+    for (size_t i = 0; i < initial; ++i) {
+      g.AddObstacle(RandomObstacle(&rng), next_id++);
+    }
+    const geom::Vec2 src{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+
+    vis::ScanArena arena;
+    vis::DijkstraScan warm(&g, src, &arena);
+    Drain(&warm);  // settle everything before the first wave
+
+    const size_t waves = 2 + rng.UniformU64(4);
+    for (size_t wave = 0; wave < waves; ++wave) {
+      SCOPED_TRACE("wave " + std::to_string(wave));
+      const size_t extra = 1 + rng.UniformU64(4);
+      for (size_t i = 0; i < extra; ++i) {
+        g.AddObstacle(RandomObstacle(&rng), next_id++);
+      }
+      warm.Revalidate();
+      Drain(&warm);
+
+      vis::DijkstraScan fresh(&g, src);
+      const auto want = Drain(&fresh);
+      ASSERT_EQ(warm.SettledCount(), want.size());
+      for (const vis::DijkstraScan::Settled& e : want) {
+        ASSERT_TRUE(warm.IsSettled(e.v)) << "vertex " << e.v;
+        EXPECT_EQ(warm.DistOf(e.v), e.dist) << "vertex " << e.v;
+      }
+    }
+  }
+}
+
+TEST(ScanArenaWarmTest, MultiWaveRevalidateWithTargetsMatchesFreshScan) {
+  // Same multi-wave growth, but interleaved with partial settlement and
+  // SettleTargets probes — the access pattern CPLC drives between IOR
+  // waves.  The warm target distance after every wave must equal a fresh
+  // scan's.
+  const geom::Rect domain({-5, -5}, {105, 105});
+  for (uint64_t trial = 0; trial < 25; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    Rng rng(0x7A46E7 + trial);
+    vis::VisGraph g(domain);
+    rtree::ObjectId next_id = 0;
+    const size_t initial = 2 + rng.UniformU64(4);
+    for (size_t i = 0; i < initial; ++i) {
+      g.AddObstacle(RandomObstacle(&rng), next_id++);
+    }
+    const vis::VertexId target =
+        g.AddFixedVertex({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+    const geom::Vec2 src{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+
+    vis::ScanArena arena;
+    vis::DijkstraScan warm(&g, src, &arena);
+    const size_t waves = 2 + rng.UniformU64(4);
+    for (size_t wave = 0; wave < waves; ++wave) {
+      SCOPED_TRACE("wave " + std::to_string(wave));
+      warm.EnsureSettled(rng.UniformU64(g.VertexCount() + 1));
+      const size_t extra = 1 + rng.UniformU64(4);
+      for (size_t i = 0; i < extra; ++i) {
+        g.AddObstacle(RandomObstacle(&rng), next_id++);
+      }
+      warm.Revalidate();
+      const double got = warm.SettleTargets({target});
+
+      vis::DijkstraScan fresh(&g, src);
+      EXPECT_EQ(got, fresh.SettleTargets({target}));
+    }
+  }
+}
+
 TEST(ScanArenaWarmTest, RevalidateKeepsConsumedPrefixReadable) {
   // Revalidate must clamp the consumer cursor into the truncated log and
   // keep Next() producing the exact fresh-scan sequence afterwards.
