@@ -92,6 +92,15 @@ void ReportBatch(benchmark::State& state, const exec::BatchStats& stats,
       static_cast<double>(stats.per_query_totals.dijkstra_settled);
   state.counters["NOE"] =
       static_cast<double>(stats.per_query_totals.obstacles_evaluated);
+  // Async miss pipeline ($CONN_ASYNC_IO) — all zero when it's off.
+  state.counters["parked"] = static_cast<double>(stats.shards_parked);
+  state.counters["mq_p50"] = static_cast<double>(stats.miss_queue_depth_p50);
+  state.counters["mq_p99"] = static_cast<double>(stats.miss_queue_depth_p99);
+  state.counters["prefetch_issued"] =
+      static_cast<double>(stats.per_query_totals.prefetch_issued);
+  state.counters["prefetch_hits"] =
+      static_cast<double>(stats.per_query_totals.prefetch_hits);
+  state.SetLabel(BenchAsyncIo() ? "async=on" : "async=off");
 }
 
 void RunBatchedBench(benchmark::State& state,
@@ -99,6 +108,7 @@ void RunBatchedBench(benchmark::State& state,
                      bool share_workspace) {
   const Dataset& ds = GetDataset(datagen::PointDistribution::kUniform,
                                  ScaledCa(), ScaledLa());
+  ApplyBenchAsyncIo(ds);
   exec::BatchOptions opts;
   opts.target_shard_size = 16;
   opts.share_workspace = share_workspace;

@@ -90,6 +90,32 @@ const char* PolicyName(storage::EvictionPolicy policy) {
   return policy == storage::EvictionPolicy::kExactLru ? "exact-lru" : "2q";
 }
 
+bool BenchAsyncIo() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("CONN_ASYNC_IO");
+    if (env == nullptr) return false;
+    const std::string v(env);
+    return v == "1" || v == "on" || v == "true";
+  }();
+  return enabled;
+}
+
+void ApplyBenchAsyncIo(const Dataset& ds) {
+  if (!BenchAsyncIo()) return;
+  auto enable = [](rtree::RStarTree& tree) {
+    storage::BufferOptions opts = tree.pager().buffer_pool().options();
+    opts.capacity_pages =
+        static_cast<size_t>(static_cast<double>(tree.PageCount()) * 0.08);
+    opts.policy = BenchBufferPolicy();
+    opts.async_io = true;
+    tree.pager().ConfigureBuffer(opts);
+    tree.pager().ResetCounters();
+  };
+  enable(*ds.tp);
+  enable(*ds.to);
+  enable(*ds.unified);
+}
+
 QueryStats RunCoknnWorkload(const Dataset& ds, const RunConfig& cfg) {
   const size_t queries = cfg.queries == 0 ? BenchQueries() : cfg.queries;
 
@@ -101,6 +127,7 @@ QueryStats RunCoknnWorkload(const Dataset& ds, const RunConfig& cfg) {
     storage::BufferOptions opts = tree.pager().buffer_pool().options();
     opts.capacity_pages = pages;
     opts.policy = cfg.buffer_policy;
+    opts.async_io = cfg.async_io;
     tree.pager().ConfigureBuffer(opts);  // also drops stale cached pages
     tree.pager().ResetCounters();
   };
@@ -165,6 +192,9 @@ void ReportStats(benchmark::State& state, const QueryStats& avg,
       static_cast<double>(avg.tick_frontier_reuse);
   state.counters["store_hits"] =
       static_cast<double>(avg.cross_shard_store_hits);
+  state.counters["prefetch_issued"] = static_cast<double>(avg.prefetch_issued);
+  state.counters["prefetch_hits"] = static_cast<double>(avg.prefetch_hits);
+  state.counters["prefetch_wasted"] = static_cast<double>(avg.prefetch_wasted);
 }
 
 }  // namespace bench

@@ -54,6 +54,7 @@ double Percentile(std::vector<double>* v, double p) {
 void RunTickBench(benchmark::State& state, bool warm) {
   const Dataset& ds = GetDataset(datagen::PointDistribution::kUniform,
                                  ScaledCa(), ScaledLa());
+  ApplyBenchAsyncIo(ds);
   const std::vector<exec::RouteSpec> routes = TickFleet(FleetClients(), 4242);
 
   exec::SubscriptionOptions opts;
@@ -69,6 +70,8 @@ void RunTickBench(benchmark::State& state, bool warm) {
   QueryStats totals;
   std::vector<double> lat;
   size_t updates = 0;
+  size_t parked = 0;
+  size_t mq_p99 = 0;
   double elapsed = 0.0;
   for (auto _ : state) {
     exec::SubscriptionService service(*ds.tp, *ds.to, opts);
@@ -80,11 +83,15 @@ void RunTickBench(benchmark::State& state, bool warm) {
     totals = QueryStats{};
     lat.clear();
     updates = 0;
+    parked = 0;
+    mq_p99 = 0;
     for (uint64_t tick = 0; tick < kTicks; ++tick) {
       const exec::TickResult result = service.Tick();
       benchmark::DoNotOptimize(result.updates.data());
       elapsed += result.stats.wall_seconds;
       totals += result.stats.per_query_totals;
+      parked += result.stats.shards_parked;
+      mq_p99 = std::max(mq_p99, result.stats.miss_queue_depth_p99);
       updates += result.updates.size();
       for (const exec::ClientUpdate& u : result.updates) {
         if (u.result.has_value()) lat.push_back(u.result->stats.cpu_seconds);
@@ -100,6 +107,13 @@ void RunTickBench(benchmark::State& state, bool warm) {
       static_cast<double>(totals.tick_frontier_reuse);
   state.counters["store_hits"] =
       static_cast<double>(totals.cross_shard_store_hits);
+  // Async miss pipeline ($CONN_ASYNC_IO) — all zero when it's off.
+  state.counters["parked"] = static_cast<double>(parked);
+  state.counters["mq_p99"] = static_cast<double>(mq_p99);
+  state.counters["prefetch_issued"] =
+      static_cast<double>(totals.prefetch_issued);
+  state.counters["prefetch_hits"] = static_cast<double>(totals.prefetch_hits);
+  state.SetLabel(BenchAsyncIo() ? "async=on" : "async=off");
 }
 
 void BM_TicksWarm(benchmark::State& state) {

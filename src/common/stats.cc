@@ -10,6 +10,9 @@ QueryStats& QueryStats::operator+=(const QueryStats& other) {
   data_page_reads += other.data_page_reads;
   obstacle_page_reads += other.obstacle_page_reads;
   buffer_hits += other.buffer_hits;
+  prefetch_issued += other.prefetch_issued;
+  prefetch_hits += other.prefetch_hits;
+  prefetch_wasted += other.prefetch_wasted;
   points_evaluated += other.points_evaluated;
   obstacles_evaluated += other.obstacles_evaluated;
   vis_graph_vertices += other.vis_graph_vertices;
@@ -36,6 +39,9 @@ QueryStats QueryStats::AveragedOver(uint64_t queries) const {
   avg.data_page_reads = data_page_reads / queries;
   avg.obstacle_page_reads = obstacle_page_reads / queries;
   avg.buffer_hits = buffer_hits / queries;
+  avg.prefetch_issued = prefetch_issued / queries;
+  avg.prefetch_hits = prefetch_hits / queries;
+  avg.prefetch_wasted = prefetch_wasted / queries;
   avg.points_evaluated = points_evaluated / queries;
   avg.obstacles_evaluated = obstacles_evaluated / queries;
   avg.vis_graph_vertices = vis_graph_vertices / queries;

@@ -52,6 +52,7 @@ ConnResult CnnQuery(const rtree::RStarTree& data_tree, const geom::Segment& q,
 
   stats.data_page_reads = data_io.faults();
   stats.buffer_hits = data_io.hits();
+  internal::AddPrefetchStats(data_io, &stats);
   stats.cpu_seconds = timer.ElapsedSeconds();
   result.stats = stats;
   return result;

@@ -338,6 +338,8 @@ CoknnResult CoknnQuery(const rtree::RStarTree& data_tree,
   stats.data_page_reads = data_io.faults();
   stats.obstacle_page_reads = obstacle_io.faults();
   stats.buffer_hits = data_io.hits() + obstacle_io.hits();
+  internal::AddPrefetchStats(data_io, &stats);
+  internal::AddPrefetchStats(obstacle_io, &stats);
   stats.cpu_seconds = timer.ElapsedSeconds();
   result.stats = stats;
   return result;
@@ -409,6 +411,7 @@ CoknnResult CoknnQuery1T(const rtree::RStarTree& unified_tree,
   stats.vis_graph_vertices = vg->VertexCount();
   stats.data_page_reads = io.faults();
   stats.buffer_hits = io.hits();
+  internal::AddPrefetchStats(io, &stats);
   stats.cpu_seconds = timer.ElapsedSeconds();
   result.stats = stats;
   return result;

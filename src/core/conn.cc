@@ -187,6 +187,8 @@ ConnResult ConnQuery(const rtree::RStarTree& data_tree,
   stats.data_page_reads = data_io.faults();
   stats.obstacle_page_reads = obstacle_io.faults();
   stats.buffer_hits = data_io.hits() + obstacle_io.hits();
+  internal::AddPrefetchStats(data_io, &stats);
+  internal::AddPrefetchStats(obstacle_io, &stats);
   stats.cpu_seconds = timer.ElapsedSeconds();
   result.stats = stats;
   return result;
@@ -257,6 +259,7 @@ ConnResult ConnQuery1T(const rtree::RStarTree& unified_tree,
   stats.vis_graph_vertices = vg->VertexCount();
   stats.data_page_reads = io.faults();  // single tree: all I/O charged here
   stats.buffer_hits = io.hits();
+  internal::AddPrefetchStats(io, &stats);
   stats.cpu_seconds = timer.ElapsedSeconds();
   result.stats = stats;
   return result;

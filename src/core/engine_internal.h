@@ -156,20 +156,45 @@ class ScopedQueryGraph {
   GraphStatsScope stats_scope_;
 };
 
-/// Snapshot of a Pager's fault/hit counters for delta accounting.
+/// Snapshot of a Pager's fault/hit/prefetch counters for delta accounting.
 class PagerDelta {
  public:
   explicit PagerDelta(const storage::Pager& pager)
-      : pager_(pager), faults0_(pager.faults()), hits0_(pager.hits()) {}
+      : pager_(pager),
+        faults0_(pager.faults()),
+        hits0_(pager.hits()),
+        prefetch_issued0_(pager.prefetch_issued()),
+        prefetch_hits0_(pager.prefetch_hits()),
+        prefetch_wasted0_(pager.prefetch_wasted()) {}
 
   uint64_t faults() const { return pager_.faults() - faults0_; }
   uint64_t hits() const { return pager_.hits() - hits0_; }
+  uint64_t prefetch_issued() const {
+    return pager_.prefetch_issued() - prefetch_issued0_;
+  }
+  uint64_t prefetch_hits() const {
+    return pager_.prefetch_hits() - prefetch_hits0_;
+  }
+  uint64_t prefetch_wasted() const {
+    return pager_.prefetch_wasted() - prefetch_wasted0_;
+  }
 
  private:
   const storage::Pager& pager_;
   uint64_t faults0_;
   uint64_t hits0_;
+  uint64_t prefetch_issued0_;
+  uint64_t prefetch_hits0_;
+  uint64_t prefetch_wasted0_;
 };
+
+/// Folds a delta's async-pipeline counters into \p stats.  Additive, so the
+/// deltas of several trees (data + obstacle, or join operands) stack.
+inline void AddPrefetchStats(const PagerDelta& io, QueryStats* stats) {
+  stats->prefetch_issued += io.prefetch_issued();
+  stats->prefetch_hits += io.prefetch_hits();
+  stats->prefetch_wasted += io.prefetch_wasted();
+}
 
 }  // namespace internal
 }  // namespace core

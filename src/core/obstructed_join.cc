@@ -80,6 +80,9 @@ void FinishStats(const internal::PagerDelta& a_io,
   result->stats.data_page_reads = a_io.faults() + b_io.faults();
   result->stats.obstacle_page_reads = o_io.faults();
   result->stats.buffer_hits = a_io.hits() + b_io.hits() + o_io.hits();
+  internal::AddPrefetchStats(a_io, &result->stats);
+  internal::AddPrefetchStats(b_io, &result->stats);
+  internal::AddPrefetchStats(o_io, &result->stats);
   result->stats.cpu_seconds = timer.ElapsedSeconds();
 }
 

@@ -60,6 +60,8 @@ ObstructedRangeResult ObstructedRangeQuery(
   stats.data_page_reads = data_io.faults();
   stats.obstacle_page_reads = obstacle_io.faults();
   stats.buffer_hits = data_io.hits() + obstacle_io.hits();
+  internal::AddPrefetchStats(data_io, &stats);
+  internal::AddPrefetchStats(obstacle_io, &stats);
   stats.cpu_seconds = timer.ElapsedSeconds();
   result.stats = stats;
   return result;

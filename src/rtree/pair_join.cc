@@ -1,11 +1,34 @@
 #include "rtree/pair_join.h"
 
 #include <limits>
+#include <vector>
 
 #include "geom/distance.h"
 
 namespace conn {
 namespace rtree {
+namespace {
+
+// At most this many sibling leaf pages staged per expanded level-1 node
+// (matches the best-first descent's cap).
+constexpr size_t kLeafSiblingHintCap = 8;
+
+// Async pipeline only: stage the leaf children of a just-expanded level-1
+// node so the pairs pushed onto the heap find their pages resident when
+// popped.  Entry order is STR order — siblings are contiguous, so the I/O
+// worker resolves the batch as one ascending sweep.
+void HintLeafChildren(const RStarTree& tree, const Node& node) {
+  if (node.level != 1 || !tree.PrefetchEnabled()) return;
+  std::vector<storage::PageId> ids;
+  ids.reserve(kLeafSiblingHintCap);
+  for (const NodeEntry& e : node.entries) {
+    ids.push_back(e.DecodeChild());
+    if (ids.size() >= kLeafSiblingHintCap) break;
+  }
+  tree.PrefetchPages(ids);
+}
+
+}  // namespace
 
 PairDistanceJoin::PairDistanceJoin(const RStarTree& tree_a,
                                    const RStarTree& tree_b)
@@ -34,6 +57,8 @@ void PairDistanceJoin::PushChildren(const Item& top) {
     CONN_CHECK(ra.ok() && rb.ok());
     const Node& na = *ra.value();
     const Node& nb = *rb.value();
+    HintLeafChildren(tree_a_, na);
+    HintLeafChildren(tree_b_, nb);
     for (const NodeEntry& ea : na.entries) {
       for (const NodeEntry& eb : nb.entries) {
         Item item;
@@ -59,6 +84,7 @@ void PairDistanceJoin::PushChildren(const Item& top) {
       expand_a ? top.a_payload : top.b_payload));
   CONN_CHECK(ref.ok());
   const Node& node = *ref.value();
+  HintLeafChildren(tree, node);
   for (const NodeEntry& e : node.entries) {
     Item item = top;
     const geom::Rect other = expand_a ? top.b_rect : top.a_rect;

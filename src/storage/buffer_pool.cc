@@ -133,6 +133,9 @@ uint32_t BufferPool::EvictFromTail(Shard& sh, ListId list_id, bool to_ghost) {
   // A readahead-staged page that was never demand-referenced has no reuse
   // history to remember: ghosting it would turn its first-ever demand
   // access into a bogus "second reference" straight into Am.
+  if (frame.prefetched) {
+    prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
+  }
   if (to_ghost && !frame.prefetched) GhostInsert(sh, frame.page_id);
   sh.table.erase(frame.page_id);
   frame.page_id = kInvalidPageId;
@@ -209,6 +212,7 @@ bool BufferPool::TryGet(PageId id, PinnedPage* out) {
   // such a first reference, not a promoting second one.
   if (frame.prefetched) {
     frame.prefetched = false;
+    prefetch_hits_.fetch_add(1, std::memory_order_relaxed);
     if (options_.policy == EvictionPolicy::kExactLru) {
       Unlink(sh, f);
       PushFront(sh, ListId::kAm, f);  // plain LRU touch

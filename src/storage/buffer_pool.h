@@ -46,6 +46,7 @@
 #include "common/check.h"
 #include "common/mutex.h"
 #include "storage/page.h"
+#include "storage/pool_tuning.h"
 
 namespace conn {
 namespace storage {
@@ -72,6 +73,23 @@ struct BufferOptions {
   /// Prefetched pages count device reads but not faults; a later demand
   /// access of a staged page counts a buffer hit.  0 disables readahead.
   size_t readahead_pages = 0;
+
+  /// Service misses asynchronously: Pager::Fetch()/FetchAsync() charge the
+  /// fault immediately but route the device read through a bounded miss
+  /// queue drained by a small I/O worker pool, and Pager::Prefetch() hints
+  /// stage pages off-worker instead of inline.  Off (the default) is the
+  /// synchronous reference behavior the committed baselines were produced
+  /// under.  Ignored while capacity_pages == 0 (unbuffered reads have no
+  /// staging to overlap).
+  bool async_io = false;
+
+  /// I/O worker threads draining the miss queue (async_io only).
+  size_t io_threads = kIoThreads;
+
+  /// Bound on queued miss-queue entries, demand + hints (async_io only).
+  /// Enqueues beyond it degrade gracefully: demand requests are serviced
+  /// inline by the caller, hints are dropped.
+  size_t miss_queue_depth = kMissQueueDepth;
 };
 
 /// RAII borrow of one page's memory.  Obtained from Pager::Fetch(); the
@@ -194,6 +212,22 @@ class BufferPool {
   size_t ResidentPages();
   size_t PinnedFrames();
 
+  /// Staging effectiveness counters.  A demand hit on a staged page whose
+  /// first demand reference this is counts one prefetch hit; evicting a
+  /// staged page that was never demand-referenced counts one wasted
+  /// prefetch.  (Issued-hint counting lives on the Pager, which owns the
+  /// staging entry points.)
+  uint64_t prefetch_hits() const {
+    return prefetch_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t prefetch_wasted() const {
+    return prefetch_wasted_.load(std::memory_order_relaxed);
+  }
+  void ResetPrefetchCounters() {
+    prefetch_hits_.store(0, std::memory_order_relaxed);
+    prefetch_wasted_.store(0, std::memory_order_relaxed);
+  }
+
  private:
   friend class PinnedPage;
 
@@ -286,6 +320,10 @@ class BufferPool {
   std::vector<Frame> frames_;
   // unique_ptr: Shard holds a mutex and must stay address-stable.
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Counted under the owning shard's latch; atomic because readers
+  // (ReportStats, engine deltas) aggregate across shards without latches.
+  std::atomic<uint64_t> prefetch_hits_{0};
+  std::atomic<uint64_t> prefetch_wasted_{0};
 };
 
 }  // namespace storage

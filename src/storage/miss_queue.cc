@@ -1,0 +1,124 @@
+#include "storage/miss_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "storage/pool_tuning.h"
+
+namespace conn {
+namespace storage {
+
+MissQueue::MissQueue(size_t io_threads, size_t depth_cap, Servicer servicer)
+    : depth_cap_(std::max<size_t>(1, depth_cap)),
+      servicer_(std::move(servicer)),
+      depth_hist_(depth_cap_ + 1, 0) {
+  const size_t n = std::max<size_t>(1, io_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+MissQueue::~MissQueue() {
+  {
+    MutexLock lock(mu_);
+    shutdown_ = true;
+  }
+  work_available_.NotifyAll();
+  // Workers only exit once both classes are empty, so everything queued at
+  // shutdown (including demand entries with blocked waiters) is serviced
+  // before the join returns.
+  for (std::thread& w : workers_) w.join();
+}
+
+bool MissQueue::EnqueueDemand(Item item) {
+  {
+    MutexLock lock(mu_);
+    if (shutdown_ || DepthLocked() >= depth_cap_) return false;
+    demand_.push_back(std::move(item));
+    SampleDepth();
+  }
+  work_available_.NotifyOne();
+  return true;
+}
+
+bool MissQueue::EnqueueHint(Item item) {
+  {
+    MutexLock lock(mu_);
+    if (shutdown_ || DepthLocked() >= depth_cap_) return false;
+    if (!queued_hint_ids_.insert(item.id).second) return false;
+    hints_.push_back(std::move(item));
+    SampleDepth();
+  }
+  work_available_.NotifyOne();
+  return true;
+}
+
+void MissQueue::SampleDepth() {
+  // Depth is sampled after the push, so it is always >= 1 and always
+  // within the histogram (the cap bounds it).
+  ++depth_hist_[DepthLocked()];
+  ++depth_samples_;
+}
+
+MissQueue::DepthStats MissQueue::Depths() {
+  MutexLock lock(mu_);
+  DepthStats out;
+  out.samples = depth_samples_;
+  if (depth_samples_ == 0) return out;
+  // Nearest-rank percentiles over the recorded samples.
+  const uint64_t p50_rank = (depth_samples_ + 1) / 2;
+  const uint64_t p99_rank = depth_samples_ - depth_samples_ / 100;
+  uint64_t cum = 0;
+  bool got50 = false;
+  bool got99 = false;
+  for (size_t depth = 0; depth < depth_hist_.size(); ++depth) {
+    if (depth_hist_[depth] == 0) continue;
+    cum += depth_hist_[depth];
+    if (!got50 && cum >= p50_rank) {
+      out.p50 = depth;
+      got50 = true;
+    }
+    if (!got99 && cum >= p99_rank) {
+      out.p99 = depth;
+      got99 = true;
+    }
+    out.max = depth;
+  }
+  return out;
+}
+
+void MissQueue::ResetDepthStats() {
+  MutexLock lock(mu_);
+  std::fill(depth_hist_.begin(), depth_hist_.end(), 0);
+  depth_samples_ = 0;
+}
+
+void MissQueue::WorkerLoop() {
+  while (true) {
+    std::vector<Item> batch;
+    {
+      MutexLock lock(mu_);
+      work_available_.Wait(mu_, [this]() REQUIRES(mu_) {
+        return shutdown_ || !demand_.empty() || !hints_.empty();
+      });
+      if (demand_.empty() && hints_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      // Demand strictly first; a cycle claims from one class only, so a
+      // hint can never ride ahead of (or inside) a demand batch.
+      const bool from_hints = demand_.empty();
+      std::deque<Item>& q = from_hints ? hints_ : demand_;
+      while (!q.empty() && batch.size() < kIoBatchPages) {
+        batch.push_back(std::move(q.front()));
+        q.pop_front();
+        if (from_hints) queued_hint_ids_.erase(batch.back().id);
+      }
+    }
+    servicer_(std::move(batch));
+  }
+}
+
+}  // namespace storage
+}  // namespace conn

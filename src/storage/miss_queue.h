@@ -1,0 +1,110 @@
+// MissQueue: the bounded request queue between fetching threads and the
+// pager's I/O workers (BufferOptions::async_io).
+//
+// Two priority classes share the bound: *demand* entries carry a
+// PageRequestState a caller is (or will be) blocked on, *hint* entries are
+// advisory prefetch staging with no waiter.  Workers drain demand strictly
+// first, so staging can never extend a demand fetch's latency — the
+// regression the old inline readahead on the miss path used to cause.
+// Each service cycle claims up to kIoBatchPages entries from one class and
+// hands them to the servicer callback as a single batch (the pager sorts
+// the ids and resolves them with one batched device request).
+//
+// The queue is bounded: enqueues beyond the depth cap are refused and the
+// caller degrades gracefully (demand falls back to inline servicing, the
+// synchronous reference path; hints are simply dropped).  Hint ids are
+// deduplicated while queued.  The destructor drains everything still
+// queued before joining the workers, so no demand waiter is ever left
+// hanging.
+//
+// Depth telemetry: every accepted enqueue samples the post-enqueue depth
+// into a histogram; Depths() reports p50/p99/max over those samples (the
+// miss-queue depth percentiles surfaced by the bench labels).
+
+#ifndef CONN_STORAGE_MISS_QUEUE_H_
+#define CONN_STORAGE_MISS_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/mutex.h"
+#include "storage/page.h"
+#include "storage/page_request.h"
+
+namespace conn {
+namespace storage {
+
+/// Bounded two-class (demand / hint) request queue with I/O worker threads.
+class MissQueue {
+ public:
+  /// One queued fetch.  A null state marks an advisory hint.
+  struct Item {
+    PageId id = kInvalidPageId;
+    std::shared_ptr<PageRequestState> state;
+  };
+
+  /// Resolves a claimed batch (sorted and read by the owning Pager).  Runs
+  /// on an I/O worker thread; must complete every demand item it is given.
+  using Servicer = std::function<void(std::vector<Item>)>;
+
+  /// Post-enqueue depth percentiles over all samples since construction /
+  /// ResetDepthStats().  All zero while no enqueue has been sampled.
+  struct DepthStats {
+    uint64_t samples = 0;
+    size_t p50 = 0;
+    size_t p99 = 0;
+    size_t max = 0;
+  };
+
+  MissQueue(size_t io_threads, size_t depth_cap, Servicer servicer);
+
+  /// Drains both classes (workers service everything still queued, so
+  /// every demand waiter completes), then joins the workers.
+  ~MissQueue();
+
+  MissQueue(const MissQueue&) = delete;
+  MissQueue& operator=(const MissQueue&) = delete;
+
+  /// Queues a demand fetch.  False when the queue is at capacity (or shut
+  /// down): the caller must service the miss itself.
+  bool EnqueueDemand(Item item) EXCLUDES(mu_);
+
+  /// Queues an advisory staging hint.  False when at capacity, shut down,
+  /// or the id is already queued as a hint.
+  bool EnqueueHint(Item item) EXCLUDES(mu_);
+
+  DepthStats Depths() EXCLUDES(mu_);
+  void ResetDepthStats() EXCLUDES(mu_);
+
+ private:
+  void WorkerLoop() EXCLUDES(mu_);
+  size_t DepthLocked() const REQUIRES(mu_) {
+    return demand_.size() + hints_.size();
+  }
+  void SampleDepth() REQUIRES(mu_);
+
+  const size_t depth_cap_;
+  const Servicer servicer_;
+
+  Mutex mu_;
+  CondVar work_available_;
+  std::deque<Item> demand_ GUARDED_BY(mu_);
+  std::deque<Item> hints_ GUARDED_BY(mu_);
+  std::unordered_set<PageId> queued_hint_ids_ GUARDED_BY(mu_);
+  std::vector<uint64_t> depth_hist_ GUARDED_BY(mu_);  ///< index = depth
+  uint64_t depth_samples_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace storage
+}  // namespace conn
+
+#endif  // CONN_STORAGE_MISS_QUEUE_H_

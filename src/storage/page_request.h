@@ -1,0 +1,132 @@
+// PageRequest: the completion handle of the asynchronous miss pipeline.
+//
+// Pager::FetchAsync() returns one of these instead of blocking on the
+// device: an immediate buffer hit arrives pre-completed, while a miss is
+// parked in the pager's bounded MissQueue and fulfilled by an I/O worker
+// thread.  The caller overlaps its own compute with the in-flight read and
+// calls Wait() when it actually needs the bytes — Wait() blocks until the
+// completion lands and hands back exactly the StatusOr<PinnedPage> the
+// synchronous Pager::Fetch() would have produced.
+//
+// The handle is [[nodiscard]] and its destructor still synchronizes with
+// the servicing worker (waiting the completion out and dropping the pin),
+// so abandoning a request can never leak a pin or let a worker write into
+// freed state — but silently dropping one forfeits the fetch you paid a
+// fault for, which is why the compile_fail suite rejects it.
+
+#ifndef CONN_STORAGE_PAGE_REQUEST_H_
+#define CONN_STORAGE_PAGE_REQUEST_H_
+
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+
+namespace conn {
+namespace storage {
+
+/// Shared completion slot between a PageRequest and the I/O worker that
+/// fulfills it.  StatusOr has no default constructor, so the result rides
+/// as a (status, page) pair assembled into a StatusOr by Wait().
+struct PageRequestState {
+  Mutex mu;
+  CondVar cv;
+  bool done GUARDED_BY(mu) = false;
+  Status status GUARDED_BY(mu);
+  PinnedPage page GUARDED_BY(mu);
+};
+
+/// Completes \p state and wakes its waiter.  Called exactly once per
+/// request, from the servicing side (I/O worker or inline fallback).
+inline void CompletePageRequest(PageRequestState& state, Status status,
+                                PinnedPage page) {
+  {
+    MutexLock lock(state.mu);
+    state.status = std::move(status);
+    state.page = std::move(page);
+    state.done = true;
+  }
+  state.cv.NotifyAll();
+}
+
+/// Move-only handle to an in-flight (or already completed) page fetch.
+class [[nodiscard]] PageRequest {
+ public:
+  PageRequest() = default;
+  explicit PageRequest(std::shared_ptr<PageRequestState> state)
+      : state_(std::move(state)) {}
+
+  /// An unconsumed request still synchronizes with its worker: the
+  /// completion writes into this state, so wait it out and drop the pin.
+  ~PageRequest() {
+    if (state_ != nullptr) {
+      // Sound to drop: the handle is being abandoned, so nobody can read
+      // the fetched bytes anyway; waiting keeps the accounting intact.
+      (void)Wait();
+    }
+  }
+
+  PageRequest(PageRequest&& other) noexcept = default;
+  PageRequest& operator=(PageRequest&& other) noexcept {
+    if (this != &other) {
+      if (state_ != nullptr) {
+        (void)Wait();  // sound: see destructor
+      }
+      state_ = std::move(other.state_);
+    }
+    return *this;
+  }
+
+  PageRequest(const PageRequest&) = delete;
+  PageRequest& operator=(const PageRequest&) = delete;
+
+  /// True when this handle holds a pending or completed fetch (false for a
+  /// default-constructed or already consumed handle).
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the completion has landed (Wait() would not block).  Also
+  /// true for empty handles, which have nothing to wait for.
+  bool Ready() const {
+    if (state_ == nullptr) return true;
+    MutexLock lock(state_->mu);
+    return state_->done;
+  }
+
+  /// Blocks until the fetch completes and returns its result, consuming
+  /// the handle.  Exactly the StatusOr the synchronous Fetch() returns.
+  StatusOr<PinnedPage> Wait() {
+    CONN_CHECK_MSG(state_ != nullptr, "PageRequest::Wait on empty request");
+    std::shared_ptr<PageRequestState> s = std::move(state_);
+    MutexLock lock(s->mu);
+    s->cv.Wait(s->mu, [&s]() REQUIRES(s->mu) { return s->done; });
+    if (!s->status.ok()) return std::move(s->status);
+    return std::move(s->page);
+  }
+
+  /// Wraps an already materialized result (buffer hits, synchronous
+  /// fallbacks) so every fetch path returns the same handle type.
+  static PageRequest Completed(StatusOr<PinnedPage> result) {
+    auto s = std::make_shared<PageRequestState>();
+    {
+      MutexLock lock(s->mu);
+      if (result.ok()) {
+        s->page = std::move(result).value();
+      } else {
+        s->status = result.status();
+      }
+      s->done = true;
+    }
+    return PageRequest(std::move(s));
+  }
+
+ private:
+  std::shared_ptr<PageRequestState> state_;
+};
+
+}  // namespace storage
+}  // namespace conn
+
+#endif  // CONN_STORAGE_PAGE_REQUEST_H_

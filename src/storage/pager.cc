@@ -1,9 +1,52 @@
 #include "storage/pager.h"
 
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
 namespace conn {
 namespace storage {
 
+Pager::~Pager() {
+  // Join the I/O workers (draining queued requests) while the pool and
+  // file they write into are still alive.
+  miss_queue_.reset();
+}
+
+void Pager::ConfigureBuffer(const BufferOptions& options) {
+  // Quiesce in-flight servicing first: workers stage into the pool that is
+  // about to be rebuilt.
+  miss_queue_.reset();
+  pool_.Configure(options);
+  if (options.async_io && options.capacity_pages > 0) {
+    miss_queue_ = std::make_unique<MissQueue>(
+        options.io_threads, options.miss_queue_depth,
+        [this](std::vector<MissQueue::Item> batch) {
+          ServiceBatch(std::move(batch));
+        });
+  }
+}
+
+void Pager::ResetCounters() {
+  faults_.store(0, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
+  prefetch_issued_.store(0, std::memory_order_relaxed);
+  pool_.ResetPrefetchCounters();
+  if (miss_queue_ != nullptr) miss_queue_->ResetDepthStats();
+}
+
+MissQueue::DepthStats Pager::MissQueueDepths() {
+  if (miss_queue_ == nullptr) return MissQueue::DepthStats{};
+  return miss_queue_->Depths();
+}
+
 StatusOr<PinnedPage> Pager::Fetch(PageId id) {
+  if (miss_queue_ == nullptr) return SyncFetch(id);
+  return FetchAsync(id).Wait();
+}
+
+StatusOr<PinnedPage> Pager::SyncFetch(PageId id) {
   if (pool_.capacity() == 0) {
     // Unbuffered (the paper's default configuration): every read faults and
     // the view aliases the file's stable page storage — no copy at all.
@@ -42,8 +85,118 @@ StatusOr<PinnedPage> Pager::Fetch(PageId id) {
     const Page* ra_src = nullptr;
     if (!file_.View(next, &ra_src).ok()) break;
     if (!pool_.Insert(next, *ra_src, /*out=*/nullptr)) break;
+    prefetch_issued_.fetch_add(1, std::memory_order_relaxed);
   }
   return out;
+}
+
+PageRequest Pager::FetchAsync(PageId id) {
+  if (miss_queue_ == nullptr) return PageRequest::Completed(SyncFetch(id));
+
+  PinnedPage out;
+  if (pool_.TryGet(id, &out)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return PageRequest::Completed(std::move(out));
+  }
+
+  // The fault is charged at issue time against the same residency check
+  // the synchronous path uses, so with hints disabled the fault counts are
+  // identical whether the read then happens off-worker or (queue full)
+  // inline.
+  faults_.fetch_add(1, std::memory_order_relaxed);
+  auto state = std::make_shared<PageRequestState>();
+  if (!miss_queue_->EnqueueDemand({id, state})) {
+    // Bounded-queue backpressure: the caller services its own miss, which
+    // is exactly the synchronous reference path (minus re-counting).
+    return PageRequest::Completed(ServiceMiss(id));
+  }
+  PageRequest request(std::move(state));
+
+  // STR readahead rides the hint class instead of running inline: it can
+  // no longer extend this (or any) demand fetch's latency.
+  const size_t ra = pool_.options().readahead_pages;
+  for (size_t i = 1; i <= ra; ++i) {
+    (void)TryStageHint(id + static_cast<PageId>(i));  // best effort
+  }
+  return request;
+}
+
+void Pager::Prefetch(std::span<const PageId> ids) {
+  if (miss_queue_ == nullptr) return;
+  for (const PageId id : ids) {
+    // Best effort by design: a filtered hint (resident, duplicate, full
+    // queue) is simply not staged.
+    (void)TryStageHint(id);
+  }
+}
+
+bool Pager::TryStageHint(PageId id) {
+  if (miss_queue_ == nullptr) return false;
+  if (id >= file_.PageCount()) return false;
+  if (pool_.Resident(id)) return false;
+  if (!miss_queue_->EnqueueHint({id, nullptr})) return false;
+  prefetch_issued_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+StatusOr<PinnedPage> Pager::ServiceMiss(PageId id) {
+  const Page* src = nullptr;
+  CONN_RETURN_IF_ERROR(file_.View(id, &src));
+  PinnedPage out;
+  if (!pool_.Insert(id, *src, &out)) {
+    return PinnedPage::Overflow(id, *src);
+  }
+  return out;
+}
+
+void Pager::ServiceBatch(std::vector<MissQueue::Item> batch) {
+  // Hints that became resident while queued need no device work; demand
+  // items always proceed (their waiter needs a completion regardless).
+  std::vector<MissQueue::Item> work;
+  work.reserve(batch.size());
+  for (MissQueue::Item& item : batch) {
+    if (item.state == nullptr && pool_.Resident(item.id)) continue;
+    work.push_back(std::move(item));
+  }
+  if (work.empty()) return;
+
+  // One ascending sweep per service cycle — the batched-pread idiom.
+  std::sort(work.begin(), work.end(),
+            [](const MissQueue::Item& a, const MissQueue::Item& b) {
+              return a.id < b.id;
+            });
+  std::vector<PageId> ids;
+  ids.reserve(work.size());
+  for (const MissQueue::Item& item : work) ids.push_back(item.id);
+  std::vector<const Page*> views;
+  file_.ViewBatch(ids, &views);
+
+  for (size_t i = 0; i < work.size(); ++i) {
+    MissQueue::Item& item = work[i];
+    const Page* view = views[i];
+    if (item.state == nullptr) {
+      // Hint: stage and move on.  A false Insert (page raced in, or every
+      // frame pinned) costs nothing further.
+      if (view != nullptr) (void)pool_.Insert(item.id, *view, nullptr);
+      continue;
+    }
+    if (view == nullptr) {
+      CompletePageRequest(*item.state,
+                          Status::NotFound("PageFile::View: page " +
+                                           std::to_string(item.id) +
+                                           " not allocated"),
+                          PinnedPage());
+      continue;
+    }
+    // Demand: pin into the completion.  No counter updates here — the
+    // fault was charged at issue time, and Insert's raced-in reuse must
+    // not double-count a hit.
+    PinnedPage out;
+    if (!pool_.Insert(item.id, *view, &out)) {
+      out = PinnedPage::Overflow(item.id, *view);
+    }
+    CompletePageRequest(*item.state, Status::OK(), std::move(out));
+  }
 }
 
 Status Pager::Write(PageId id, const Page& page) {

@@ -11,6 +11,27 @@
 // with buffering disabled (capacity 0, the paper's default configuration)
 // every Fetch faults.
 //
+// With BufferOptions::async_io on, the miss path becomes a two-stage
+// request/completion pipeline instead of a blocking call:
+//
+//   FetchAsync(id) ── hit ──────────────────────▶ completed PageRequest
+//        │ miss (fault charged here)
+//        ▼
+//   bounded MissQueue ── demand class ──▶ I/O workers ── batched ViewBatch
+//        ▲                                   │
+//   Prefetch(ids) ── hint class (drained     └──▶ CompletePageRequest
+//                    only when no demand          (caller's Wait unblocks)
+//                    waits)
+//
+// Fetch() in async mode is FetchAsync().Wait() — same results, same
+// accounting: the fault/hit decision is made at issue time against the
+// same residency check the synchronous path uses, so fault counts with
+// hints disabled are identical to the synchronous reference.  Prefetch()
+// hints (and the STR readahead that used to run inline on the miss path)
+// stage pages off-worker through the hint class, which workers only drain
+// while no demand entry waits — staging can never extend a demand fetch's
+// latency.
+//
 // Concurrent Fetch()es from several query threads (the batch executor's
 // shards) are safe: counters are atomic and the pool takes per-shard
 // latches.  Structural mutation (Allocate / Write / ConfigureBuffer) is a
@@ -24,10 +45,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <span>
 
 #include "common/status.h"
 #include "storage/buffer_pool.h"
+#include "storage/miss_queue.h"
 #include "storage/page_file.h"
+#include "storage/page_request.h"
 
 namespace conn {
 namespace storage {
@@ -36,6 +61,10 @@ namespace storage {
 class Pager {
  public:
   Pager() = default;
+
+  /// Joins the I/O workers (draining queued requests) before the pool and
+  /// file they service into are torn down.
+  ~Pager();
 
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
@@ -50,46 +79,75 @@ class Pager {
 
   /// Pins page \p id and returns a borrowed view of its bytes.  A resident
   /// page counts one hit (zero copies); a miss counts one fault and stages
-  /// the page into the pool (plus optional readahead of the following STR
-  /// sibling pages).  Thread-safe against concurrent Fetch()es.
+  /// the page into the pool.  In async mode this is FetchAsync().Wait().
+  /// Thread-safe against concurrent Fetch()es.
   StatusOr<PinnedPage> Fetch(PageId id);
+
+  /// Issues the fetch without blocking on the device: an immediate hit (or
+  /// any synchronous configuration) returns a pre-completed request, a
+  /// miss charges the fault now and parks the read in the miss queue.
+  /// Call Wait() on the handle when the bytes are actually needed and
+  /// overlap compute with the in-flight I/O until then.
+  PageRequest FetchAsync(PageId id);
+
+  /// Advisory staging hints: queues device reads for the given ids so a
+  /// later demand Fetch finds them resident.  Hints never fault, never
+  /// block, are deduplicated and dropped when the queue is full, and are
+  /// only serviced while no demand request waits.  A no-op unless
+  /// async_io is on and the pool is buffered.
+  void Prefetch(std::span<const PageId> ids);
 
   /// Writes page \p id through to the file and refreshes the pool.
   Status Write(PageId id, const Page& page);
 
-  /// Reconfigures the buffer pool (capacity, eviction policy, readahead),
-  /// dropping all cached pages.  Not thread-safe against in-flight reads;
-  /// requires that no pins are live.
-  void ConfigureBuffer(const BufferOptions& options) {
-    pool_.Configure(options);
-  }
+  /// Reconfigures the buffer pool (capacity, eviction policy, readahead,
+  /// async pipeline), dropping all cached pages and draining any in-flight
+  /// miss-queue work.  Not thread-safe against in-flight reads; requires
+  /// that no pins are live.
+  void ConfigureBuffer(const BufferOptions& options);
 
   /// Sets the buffer capacity in pages (0 disables buffering, the default
   /// configuration of the paper's experiments), keeping the current policy
-  /// and readahead settings.  Drops cached pages; see ConfigureBuffer().
+  /// and readahead/async settings.  Drops cached pages; see
+  /// ConfigureBuffer().
   void SetBufferCapacity(size_t pages) {
     BufferOptions opts = pool_.options();
     opts.capacity_pages = pages;
-    pool_.Configure(opts);
+    ConfigureBuffer(opts);
   }
 
   /// Drops buffered pages (and 2Q ghost history) without changing the
-  /// configuration.  Requires that no pins are live.
+  /// configuration.  Requires that no pins are live and no requests are in
+  /// flight.
   void ClearBuffer() { pool_.Clear(); }
 
-  /// Zeroes the fault/hit counters — warm-up phases call this so the
-  /// measured half of a workload starts from a clean slate.  Device-level
-  /// counters (PageFile) are not affected.
-  void ResetCounters() {
-    faults_.store(0, std::memory_order_relaxed);
-    hits_.store(0, std::memory_order_relaxed);
-  }
+  /// Zeroes the fault/hit/prefetch counters and the miss-queue depth
+  /// telemetry — warm-up phases call this so the measured half of a
+  /// workload starts from a clean slate.  Device-level counters (PageFile)
+  /// are not affected.
+  void ResetCounters();
 
   /// Page faults (buffer misses) since construction / ResetCounters().
   uint64_t faults() const { return faults_.load(std::memory_order_relaxed); }
 
   /// Buffer hits since construction / ResetCounters().
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+
+  /// Staging hints accepted into the pipeline (Prefetch/readahead pages
+  /// actually queued or staged, after residency/dedup/bounds filtering).
+  uint64_t prefetch_issued() const {
+    return prefetch_issued_.load(std::memory_order_relaxed);
+  }
+
+  /// Demand hits whose page was resident only because staging brought it
+  /// in (first demand touch of a prefetched frame).
+  uint64_t prefetch_hits() const { return pool_.prefetch_hits(); }
+
+  /// Staged pages evicted before any demand touch (useless prefetch).
+  uint64_t prefetch_wasted() const { return pool_.prefetch_wasted(); }
+
+  /// Miss-queue depth percentiles (all zero in synchronous mode).
+  MissQueue::DepthStats MissQueueDepths();
 
   /// The pool, for configuration inspection and tests.
   BufferPool& buffer_pool() { return pool_; }
@@ -98,10 +156,31 @@ class Pager {
   const PageFile& file() const { return file_; }
 
  private:
+  /// The synchronous reference path (async_io off): identical behavior and
+  /// accounting to the seed implementation, inline readahead included.
+  StatusOr<PinnedPage> SyncFetch(PageId id);
+
+  /// Reads + stages one missed page without touching fault/hit counters
+  /// (the fault was charged at issue time).  Shared by the I/O workers and
+  /// the queue-full inline fallback.
+  StatusOr<PinnedPage> ServiceMiss(PageId id);
+
+  /// I/O worker entry point: resolves a claimed batch with one batched
+  /// device request and completes every demand item in it.
+  void ServiceBatch(std::vector<MissQueue::Item> batch);
+
+  /// Queues one staging hint; false if filtered (out of range, resident,
+  /// duplicate, queue full, or synchronous mode).
+  bool TryStageHint(PageId id);
+
   PageFile file_;
   BufferPool pool_;
   std::atomic<uint64_t> faults_{0};
   std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> prefetch_issued_{0};
+  // Declared after the file and pool it services: destroyed (and its
+  // workers joined) first.
+  std::unique_ptr<MissQueue> miss_queue_;
 };
 
 }  // namespace storage

@@ -20,12 +20,30 @@ namespace storage {
 /// order bit-for-bit).
 inline constexpr size_t kFramesPerShard = 32;
 
-/// Hard cap on the number of latch shards a pool will create.
-inline constexpr size_t kMaxShards = 8;
+/// Hard cap on the number of latch shards a pool will create.  Lifted from
+/// 8 once the miss path stopped serializing on the calling thread (the
+/// async pipeline below): with kFramesPerShard frames per latch this caps
+/// latch sharding at a 1024-frame pool, past which the id-interleaved
+/// mapping already spreads contention thin.
+inline constexpr size_t kMaxShards = 32;
 
 /// The 2Q probationary FIFO (A1in) targets shard_capacity / this divisor
 /// (minimum 1 frame).
 inline constexpr size_t kA1inTargetDivisor = 4;
+
+/// Default number of I/O worker threads draining the miss queue when
+/// BufferOptions::async_io is on.
+inline constexpr size_t kIoThreads = 2;
+
+/// Default bound on queued miss-queue entries (demand + hints).  A full
+/// queue degrades gracefully: demand requests fall back to inline
+/// servicing (the synchronous reference path) and hints are dropped.
+inline constexpr size_t kMissQueueDepth = 64;
+
+/// Upper bound on the number of pages one miss-queue service cycle claims:
+/// the worker sorts the claimed ids and resolves them as a single batched
+/// device request (the batched-pread idiom) instead of one read per page.
+inline constexpr size_t kIoBatchPages = 8;
 
 }  // namespace storage
 }  // namespace conn

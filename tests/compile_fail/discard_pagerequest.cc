@@ -1,0 +1,12 @@
+// MUST NOT COMPILE (-Werror=unused-result): discards the [[nodiscard]]
+// PageRequest returned by Pager::FetchAsync — the abandoned handle's
+// destructor still synchronizes with the I/O worker, but the caller paid a
+// fault for bytes nobody will ever read.
+
+#include "storage/pager.h"
+
+int main() {
+  conn::storage::Pager pager;
+  pager.FetchAsync(0);  // error: ignoring nodiscard conn::storage::PageRequest
+  return 0;
+}

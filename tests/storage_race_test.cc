@@ -22,8 +22,10 @@ namespace conn {
 namespace storage {
 namespace {
 
-void RunChurn(EvictionPolicy policy) {
-  constexpr size_t kPages = 64;
+void RunChurn(EvictionPolicy policy, bool async_io = false,
+              size_t capacity_pages = kFramesPerShard / kA1inTargetDivisor,
+              size_t pages = 64) {
+  const size_t kPages = pages;
   constexpr size_t kThreads = 4;
   constexpr size_t kOpsPerThread = 1500;
 
@@ -33,11 +35,14 @@ void RunChurn(EvictionPolicy policy) {
     ASSERT_TRUE(pager.Write(id, StampedPage(id)).ok());
   }
   BufferOptions opts;
-  // A quarter of one latch shard's frame budget (pool_tuning.h): a
-  // single-shard pool far below the working set, so eviction churns
-  // constantly and stays churning if the shard sizing ever changes.
-  opts.capacity_pages = kFramesPerShard / kA1inTargetDivisor;
+  // Default capacity is a quarter of one latch shard's frame budget
+  // (pool_tuning.h): a single-shard pool far below the working set, so
+  // eviction churns constantly and stays churning if the shard sizing
+  // ever changes.  The fan-out variant below overrides it to span many
+  // shards of the lifted kMaxShards cap.
+  opts.capacity_pages = capacity_pages;
   opts.policy = policy;
+  opts.async_io = async_io;
   pager.ConfigureBuffer(opts);
   pager.ResetCounters();
 
@@ -93,6 +98,25 @@ TEST(StorageRaceTest, ConcurrentFetchPinUnpinChurnTwoQueue) {
 
 TEST(StorageRaceTest, ConcurrentFetchPinUnpinChurnExactLru) {
   RunChurn(EvictionPolicy::kExactLru);
+}
+
+// Same churn with every miss routed through the async pipeline's demand
+// class: fetching threads now rendezvous with the I/O workers, and the
+// one-hit-or-one-fault accounting invariant must survive the handoff.
+TEST(StorageRaceTest, ConcurrentChurnAsyncPipelineTwoQueue) {
+  RunChurn(EvictionPolicy::kTwoQueue, /*async_io=*/true);
+}
+
+TEST(StorageRaceTest, ConcurrentChurnAsyncPipelineExactLru) {
+  RunChurn(EvictionPolicy::kExactLru, /*async_io=*/true);
+}
+
+// Churn across a pool spanning many latch shards of the lifted kMaxShards
+// cap (pool_tuning.h), async pipeline on: evictions, staging inserts, and
+// pin traffic spread over the full fan-out instead of one latch.
+TEST(StorageRaceTest, ConcurrentChurnAcrossLiftedShardFanout) {
+  RunChurn(EvictionPolicy::kTwoQueue, /*async_io=*/true,
+           /*capacity_pages=*/8 * kFramesPerShard, /*pages=*/1024);
 }
 
 TEST(StorageRaceTest, ConcurrentTreeTraversalsShareOnePool) {
