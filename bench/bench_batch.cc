@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -73,7 +74,7 @@ std::vector<exec::BatchQuery> UniformWorkload(size_t n, size_t k,
 }
 
 void ReportBatch(benchmark::State& state, const exec::BatchStats& stats,
-                 size_t queries, double elapsed_total) {
+                 size_t queries, double elapsed_total, size_t hint_depth) {
   state.counters["qps"] = benchmark::Counter(
       static_cast<double>(queries) * state.iterations() / elapsed_total);
   state.counters["reuse_hits"] = static_cast<double>(stats.obstacle_reuse_hits);
@@ -100,7 +101,10 @@ void ReportBatch(benchmark::State& state, const exec::BatchStats& stats,
       static_cast<double>(stats.per_query_totals.prefetch_issued);
   state.counters["prefetch_hits"] =
       static_cast<double>(stats.per_query_totals.prefetch_hits);
-  state.SetLabel(BenchAsyncIo() ? "async=on" : "async=off");
+  // The effective hint depth is the autotuner's final answer for this
+  // workload (pool_tuning.h); it stays at the cap with async off.
+  state.SetLabel(std::string(BenchAsyncIo() ? "async=on" : "async=off") +
+                 " hint_depth=" + std::to_string(hint_depth));
 }
 
 void RunBatchedBench(benchmark::State& state,
@@ -122,7 +126,8 @@ void RunBatchedBench(benchmark::State& state,
     last = result.stats;
     elapsed += result.stats.wall_seconds;
   }
-  ReportBatch(state, last, batch.size(), elapsed);
+  ReportBatch(state, last, batch.size(), elapsed,
+              ds.tp->pager().effective_hint_depth());
 }
 
 void RunSequentialBench(benchmark::State& state,

@@ -24,6 +24,10 @@ QueryStats& QueryStats::operator+=(const QueryStats& other) {
   tick_warm_starts += other.tick_warm_starts;
   tick_frontier_reuse += other.tick_frontier_reuse;
   cross_shard_store_hits += other.cross_shard_store_hits;
+  repairs_applied += other.repairs_applied;
+  tuples_carried += other.tuples_carried;
+  tuples_rescored += other.tuples_rescored;
+  frontier_shares += other.frontier_shares;
   vr_cache_evictions += other.vr_cache_evictions;
   split_evaluations += other.split_evaluations;
   lemma1_prunes += other.lemma1_prunes;
@@ -53,6 +57,10 @@ QueryStats QueryStats::AveragedOver(uint64_t queries) const {
   avg.tick_warm_starts = tick_warm_starts / queries;
   avg.tick_frontier_reuse = tick_frontier_reuse / queries;
   avg.cross_shard_store_hits = cross_shard_store_hits / queries;
+  avg.repairs_applied = repairs_applied / queries;
+  avg.tuples_carried = tuples_carried / queries;
+  avg.tuples_rescored = tuples_rescored / queries;
+  avg.frontier_shares = frontier_shares / queries;
   avg.vr_cache_evictions = vr_cache_evictions / queries;
   avg.split_evaluations = split_evaluations / queries;
   avg.lemma1_prunes = lemma1_prunes / queries;

@@ -250,13 +250,21 @@ double CoknnResult::OdistAt(double t, size_t j) const {
 
 namespace {
 
+/// Differential-repair wiring for one RunCoknn invocation: the carried
+/// workspace's settlement log (null = repair off, the PR 8 path) and the
+/// owner tag its published capsule carries.
+struct RepairHooks {
+  vis::SettlementLog* log = nullptr;
+  int64_t client_tag = -1;
+};
+
 /// Shared main loop for both tree configurations.
 template <typename NextPointFn>
 CoknnResult RunCoknn(const geom::Segment& q, size_t k,
                      const geom::IntervalSet& blocked, vis::VisGraph* vg,
                      vis::ScanArena* arena, ObstacleSource* obstacle_source,
                      NextPointFn&& next_point, const ConnOptions& opts,
-                     QueryStats* stats) {
+                     QueryStats* stats, const RepairHooks& repair = {}) {
   CoknnResult result;
   result.query = q;
   result.k = k;
@@ -267,6 +275,16 @@ CoknnResult RunCoknn(const geom::Segment& q, size_t k,
   vis::QuerySession session(vg);
   const std::vector<vis::VertexId> targets =
       internal::AddTargetVertices(&session, reachable, q);
+
+  // Repair mode: retrieval waves already proven covered by the workspace's
+  // settlement log skip the obstacle stream (the guard answers "nothing
+  // new within the bound", which the capsule makes literally true).
+  CoverageGuardedSource guarded(obstacle_source, repair.log, q,
+                                repair.client_tag, stats);
+  ObstacleSource* source =
+      repair.log != nullptr ? static_cast<ObstacleSource*>(&guarded)
+                            : obstacle_source;
+  if (repair.log != nullptr) stats->repairs_applied = 1;
 
   KnnResultList rl(reachable, k);
   VisibleRegionCache vr_cache;
@@ -287,24 +305,41 @@ CoknnResult RunCoknn(const geom::Segment& q, size_t k,
     ++stats->points_evaluated;
     const geom::Vec2 p = obj.AsPoint();
     std::unique_ptr<vis::DijkstraScan> scan;
-    IncrementalObstacleRetrieval(obstacle_source, vg, targets, p, &retrieved,
-                                 stats, &scan, arena,
-                                 opts.use_warm_scan_restarts);
+    const uint64_t yields_before = guarded.yields();
+    IncrementalObstacleRetrieval(source, vg, targets, p, &retrieved, stats,
+                                 &scan, arena, opts.use_warm_scan_restarts);
+    if (repair.log != nullptr) {
+      // Carried vs re-scored at retrieval granularity: a point whose whole
+      // search range was served by carried coverage (or by earlier waves
+      // of this query) never touched the tree; a boundary point streamed.
+      if (guarded.yields() != yields_before) {
+        ++stats->tuples_rescored;
+      } else {
+        ++stats->tuples_carried;
+      }
+    }
     const ControlPointList cpl = ComputeControlPointList(
         vg, scan.get(), p, frame, reachable, opts, stats, &vr_cache);
     rl.Update(static_cast<int64_t>(obj.id), cpl, frame, stats);
   }
   stats->vr_cache_evictions += vr_cache.evictions();
+  // Publish this query's proven coverage: after the loop, every obstacle
+  // with mindist(o, q) <= retrieved is in the graph (streamed waves by the
+  // ascending source, covered waves by their proving capsule).  The next
+  // repair on this workspace reads it — same client or a shard sibling.
+  if (repair.log != nullptr) {
+    repair.log->Publish(q, retrieved, repair.client_tag);
+  }
   result.tuples = rl.tuples();
   return result;
 }
 
-}  // namespace
-
-CoknnResult CoknnQuery(const rtree::RStarTree& data_tree,
-                       const rtree::RStarTree& obstacle_tree,
-                       const geom::Segment& q, size_t k,
-                       const ConnOptions& opts, QueryWorkspace* workspace) {
+/// Two-tree body shared by CoknnQuery (no hooks) and CoknnRepair.
+CoknnResult CoknnQueryImpl(const rtree::RStarTree& data_tree,
+                           const rtree::RStarTree& obstacle_tree,
+                           const geom::Segment& q, size_t k,
+                           const ConnOptions& opts, QueryWorkspace* workspace,
+                           const RepairHooks& repair) {
   Timer timer;
   QueryStats stats;
   internal::PagerDelta data_io(data_tree.pager());
@@ -331,8 +366,9 @@ CoknnResult CoknnQuery(const rtree::RStarTree& data_tree,
     return StreamOutcome::kYielded;
   };
 
-  CoknnResult result = RunCoknn(q, k, blocked, vg, graph.arena(),
-                                &obstacle_source, next_point, opts, &stats);
+  CoknnResult result =
+      RunCoknn(q, k, blocked, vg, graph.arena(), &obstacle_source, next_point,
+               opts, &stats, repair);
 
   stats.vis_graph_vertices = vg->VertexCount();
   stats.data_page_reads = data_io.faults();
@@ -343,6 +379,53 @@ CoknnResult CoknnQuery(const rtree::RStarTree& data_tree,
   stats.cpu_seconds = timer.ElapsedSeconds();
   result.stats = stats;
   return result;
+}
+
+/// Unified-tree body shared by CoknnQuery1T (no hooks) and CoknnRepair1T.
+CoknnResult CoknnQuery1TImpl(const rtree::RStarTree& unified_tree,
+                             const geom::Segment& q, size_t k,
+                             const ConnOptions& opts,
+                             QueryWorkspace* workspace,
+                             const RepairHooks& repair) {
+  Timer timer;
+  QueryStats stats;
+  internal::PagerDelta io(unified_tree.pager());
+
+  internal::ScopedQueryGraph graph(workspace, &unified_tree, nullptr, q,
+                                   &stats);
+  vis::VisGraph* vg = graph.get();
+  UnifiedStream stream(unified_tree, q, vg);
+  const geom::IntervalSet blocked = internal::BlockedIntervals(unified_tree, q);
+
+  auto next_point = [&](double bound, rtree::DataObject* out, double* dist) {
+    return stream.NextPointWithin(bound, out, dist);
+  };
+
+  CoknnResult result = RunCoknn(q, k, blocked, vg, graph.arena(), &stream,
+                                next_point, opts, &stats, repair);
+
+  stats.vis_graph_vertices = vg->VertexCount();
+  stats.data_page_reads = io.faults();
+  stats.buffer_hits = io.hits();
+  internal::AddPrefetchStats(io, &stats);
+  stats.cpu_seconds = timer.ElapsedSeconds();
+  result.stats = stats;
+  return result;
+}
+
+}  // namespace
+
+CoknnResult CoknnQuery(const rtree::RStarTree& data_tree,
+                       const rtree::RStarTree& obstacle_tree,
+                       const geom::Segment& q, size_t k,
+                       const ConnOptions& opts, QueryWorkspace* workspace) {
+  return CoknnQueryImpl(data_tree, obstacle_tree, q, k, opts, workspace, {});
+}
+
+CoknnResult CoknnQuery1T(const rtree::RStarTree& unified_tree,
+                         const geom::Segment& q, size_t k,
+                         const ConnOptions& opts, QueryWorkspace* workspace) {
+  return CoknnQuery1TImpl(unified_tree, q, k, opts, workspace, {});
 }
 
 namespace {
@@ -368,7 +451,39 @@ CoknnResult TickMemoResult(const CoknnResult& prior) {
   return result;
 }
 
+/// Repair requires a carried workspace (its settlement log is the carried
+/// coverage) under the warm-start gate; CoknnQueryTick only dispatches to
+/// the repair path for workspaces *built* for repair — a short-lived
+/// per-query fallback graph has an empty log and gains nothing.
+bool RepairApplies(const ConnOptions& opts, const QueryWorkspace* workspace) {
+  return opts.use_differential_repair && opts.use_tick_warm_start &&
+         workspace != nullptr && workspace->differential_repair();
+}
+
 }  // namespace
+
+CoknnResult CoknnRepair(const rtree::RStarTree& data_tree,
+                        const rtree::RStarTree& obstacle_tree,
+                        const geom::Segment& q, size_t k,
+                        const TickWarmStart& warm, const ConnOptions& opts,
+                        QueryWorkspace* workspace) {
+  CONN_CHECK_MSG(workspace != nullptr,
+                 "differential repair needs a carried workspace");
+  if (TickMemoApplies(warm, q, k, opts)) return TickMemoResult(*warm.prior);
+  return CoknnQueryImpl(data_tree, obstacle_tree, q, k, opts, workspace,
+                        {workspace->settlement_log(), warm.client_tag});
+}
+
+CoknnResult CoknnRepair1T(const rtree::RStarTree& unified_tree,
+                          const geom::Segment& q, size_t k,
+                          const TickWarmStart& warm, const ConnOptions& opts,
+                          QueryWorkspace* workspace) {
+  CONN_CHECK_MSG(workspace != nullptr,
+                 "differential repair needs a carried workspace");
+  if (TickMemoApplies(warm, q, k, opts)) return TickMemoResult(*warm.prior);
+  return CoknnQuery1TImpl(unified_tree, q, k, opts, workspace,
+                          {workspace->settlement_log(), warm.client_tag});
+}
 
 CoknnResult CoknnQueryTick(const rtree::RStarTree& data_tree,
                            const rtree::RStarTree& obstacle_tree,
@@ -376,6 +491,9 @@ CoknnResult CoknnQueryTick(const rtree::RStarTree& data_tree,
                            const TickWarmStart& warm, const ConnOptions& opts,
                            QueryWorkspace* workspace) {
   if (TickMemoApplies(warm, q, k, opts)) return TickMemoResult(*warm.prior);
+  if (RepairApplies(opts, workspace)) {
+    return CoknnRepair(data_tree, obstacle_tree, q, k, warm, opts, workspace);
+  }
   return CoknnQuery(data_tree, obstacle_tree, q, k, opts, workspace);
 }
 
@@ -385,36 +503,10 @@ CoknnResult CoknnQueryTick1T(const rtree::RStarTree& unified_tree,
                              const ConnOptions& opts,
                              QueryWorkspace* workspace) {
   if (TickMemoApplies(warm, q, k, opts)) return TickMemoResult(*warm.prior);
+  if (RepairApplies(opts, workspace)) {
+    return CoknnRepair1T(unified_tree, q, k, warm, opts, workspace);
+  }
   return CoknnQuery1T(unified_tree, q, k, opts, workspace);
-}
-
-CoknnResult CoknnQuery1T(const rtree::RStarTree& unified_tree,
-                         const geom::Segment& q, size_t k,
-                         const ConnOptions& opts, QueryWorkspace* workspace) {
-  Timer timer;
-  QueryStats stats;
-  internal::PagerDelta io(unified_tree.pager());
-
-  internal::ScopedQueryGraph graph(workspace, &unified_tree, nullptr, q,
-                                   &stats);
-  vis::VisGraph* vg = graph.get();
-  UnifiedStream stream(unified_tree, q, vg);
-  const geom::IntervalSet blocked = internal::BlockedIntervals(unified_tree, q);
-
-  auto next_point = [&](double bound, rtree::DataObject* out, double* dist) {
-    return stream.NextPointWithin(bound, out, dist);
-  };
-
-  CoknnResult result = RunCoknn(q, k, blocked, vg, graph.arena(), &stream,
-                                next_point, opts, &stats);
-
-  stats.vis_graph_vertices = vg->VertexCount();
-  stats.data_page_reads = io.faults();
-  stats.buffer_hits = io.hits();
-  internal::AddPrefetchStats(io, &stats);
-  stats.cpu_seconds = timer.ElapsedSeconds();
-  result.stats = stats;
-  return result;
 }
 
 }  // namespace core

@@ -125,6 +125,12 @@ struct TickWarmStart {
   /// Last tick's result for this client (null on the client's first tick,
   /// or when the caller discarded it).  Must outlive the query call.
   const CoknnResult* prior = nullptr;
+
+  /// The client this tick belongs to (-1 = anonymous).  The differential
+  /// repair path tags the coverage capsules it publishes with this, so the
+  /// frontier_shares statistic can tell cross-client reuse from a client
+  /// re-reading its own frontier.
+  int64_t client_tag = -1;
 };
 
 /// COkNN for one tick of a moving query (two-tree configuration).  When
@@ -148,6 +154,35 @@ CoknnResult CoknnQueryTick1T(const rtree::RStarTree& unified_tree,
                              const TickWarmStart& warm,
                              const ConnOptions& opts = {},
                              QueryWorkspace* workspace = nullptr);
+
+/// Differential tick repair (two-tree configuration): CoknnQueryTick run
+/// as a repair against \p workspace's carried state instead of a fresh
+/// evaluation.  Tick-t's Theorem-2 search ranges are diffed against the
+/// coverage the workspace's settlement log already proves: data points
+/// whose range is untouched by the segment advance are carried without
+/// contacting the obstacle tree (tuples_carried), only boundary points
+/// whose range escapes coverage re-score through the stream
+/// (tuples_rescored), with obstacle waves absorbed by
+/// DijkstraScan::Revalidate warm restarts on the carried graph.  The
+/// query's own final search range is published back to the log, so
+/// clustered clients sharing the shard workspace repair off each other's
+/// frontiers (frontier_shares).  Results are bit-identical to CoknnQuery:
+/// the graph holds a superset of every wave's Theorem-2 obstacle set
+/// whether the wave streamed or was covered.  CoknnQueryTick dispatches
+/// here when ConnOptions::use_differential_repair is set (with
+/// use_tick_warm_start) and a workspace is supplied.
+CoknnResult CoknnRepair(const rtree::RStarTree& data_tree,
+                        const rtree::RStarTree& obstacle_tree,
+                        const geom::Segment& q, size_t k,
+                        const TickWarmStart& warm, const ConnOptions& opts,
+                        QueryWorkspace* workspace);
+
+/// Differential tick repair for the unified-tree configuration (see
+/// CoknnRepair).
+CoknnResult CoknnRepair1T(const rtree::RStarTree& unified_tree,
+                          const geom::Segment& q, size_t k,
+                          const TickWarmStart& warm, const ConnOptions& opts,
+                          QueryWorkspace* workspace);
 
 }  // namespace core
 }  // namespace conn

@@ -41,6 +41,22 @@ struct ConnOptions {
   /// reference path the subscription equivalence suite compares against.
   bool use_tick_warm_start = true;
 
+  /// Differential tick repair on top of the cross-tick warm path: carried
+  /// workspaces switch to patch-only adjacency maintenance (obstacle
+  /// insertion defers per-vertex visibility work until a scan actually
+  /// touches the vertex) and keep a per-shard settlement log of coverage
+  /// capsules — one entry per completed retrieval asserting "every
+  /// obstacle within radius r of segment s is already in this graph".  A
+  /// later query (the same client's next tick, or a clustered sibling's)
+  /// whose Theorem-2 search range a capsule covers skips the obstacle
+  /// stream entirely; only boundary points whose range escapes coverage
+  /// re-score against the tree.  Results are bit-identical either way:
+  /// scans depend only on the graph's edge *sets* at use time (the heap
+  /// tie-breaks on (dist, vertex)), and a covered wave has the same
+  /// postcondition as streaming duplicates.  Requires
+  /// use_tick_warm_start; off selects the PR 8 warm path unchanged.
+  bool use_differential_repair = false;
+
   /// Resolution of the local obstacle grid (cells per side).
   int grid_cells_per_side = 64;
 };

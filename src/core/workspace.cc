@@ -7,10 +7,19 @@ namespace core {
 
 QueryWorkspace::QueryWorkspace(const rtree::RStarTree* data_tree,
                                const rtree::RStarTree* obstacle_tree,
-                               const geom::Rect& query_cover)
+                               const geom::Rect& query_cover,
+                               bool differential_repair)
     : domain_(
           internal::WorkspaceBounds(data_tree, obstacle_tree, query_cover)),
-      vg_(domain_, /*stats=*/nullptr) {}
+      vg_(domain_, /*stats=*/nullptr),
+      differential_repair_(differential_repair) {
+  // Repair-mode workspaces keep eager adjacency: measured on bench_ticks,
+  // vis::VisGraph's deferred (patch-only) mode trades the per-insertion
+  // corner sweeps for per-touch patches at roughly break-even pair count,
+  // and its bookkeeping overhead loses ~15% warm qps at smoke scale.  The
+  // repair win comes from the settlement log and the reshard adoption
+  // path, both orthogonal to adjacency maintenance.
+}
 
 }  // namespace core
 }  // namespace conn

@@ -20,6 +20,7 @@
 #include "geom/box.h"
 #include "rtree/rstar_tree.h"
 #include "vis/dijkstra.h"
+#include "vis/settlement_log.h"
 #include "vis/vis_graph.h"
 
 namespace conn {
@@ -31,10 +32,14 @@ class QueryWorkspace {
  public:
   /// Builds a workspace whose grid domain covers both trees (either may be
   /// null) and \p query_cover — the bounding rectangle of every query
-  /// segment that will run against it.
+  /// segment that will run against it.  With \p differential_repair the
+  /// workspace serves the differential tick-repair path: queries read and
+  /// publish coverage capsules through settlement_log(), and the batch
+  /// layer carries the workspace through reshards by cover overlap.
   QueryWorkspace(const rtree::RStarTree* data_tree,
                  const rtree::RStarTree* obstacle_tree,
-                 const geom::Rect& query_cover);
+                 const geom::Rect& query_cover,
+                 bool differential_repair = false);
 
   QueryWorkspace(const QueryWorkspace&) = delete;
   QueryWorkspace& operator=(const QueryWorkspace&) = delete;
@@ -62,10 +67,21 @@ class QueryWorkspace {
   /// it serves remain inside the domain it was sized for.
   bool Covers(const geom::Rect& cover) const { return domain_.Contains(cover); }
 
+  /// Coverage capsules proven by retrievals that ran against this
+  /// workspace's graph (see vis/settlement_log.h) — the shared frontier
+  /// the differential-repair path reads and publishes.  Lives and dies
+  /// with the graph it describes, so its facts stay sound.
+  vis::SettlementLog* settlement_log() { return &settlement_log_; }
+
+  /// True when the workspace was built for the differential-repair path.
+  bool differential_repair() const { return differential_repair_; }
+
  private:
   geom::Rect domain_;
   vis::VisGraph vg_;
   vis::ScanArena scan_arena_;
+  vis::SettlementLog settlement_log_;
+  bool differential_repair_ = false;
 };
 
 }  // namespace core

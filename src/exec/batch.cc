@@ -115,11 +115,12 @@ void BatchRunner::Reshard(const std::vector<BatchQuery>& queries,
   if (store != nullptr) {
     for (BatchPlan::ShardState& state : plan->states_) {
       if (state.workspace != nullptr) {
-        store->Harvest(state.workspace->graph()->obstacles(),
-                       state.harvest_mark);
+        state.harvest_mark = store->Harvest(
+            state.workspace->graph()->obstacles(), state.harvest_mark);
       }
     }
   }
+  std::vector<BatchPlan::ShardState> old_states = std::move(plan->states_);
   plan->states_.clear();
   plan->query_count_ = queries.size();
 
@@ -131,6 +132,37 @@ void BatchRunner::Reshard(const std::vector<BatchQuery>& queries,
     BatchPlan::ShardState state;
     state.members = std::move(shard);
     plan->states_.push_back(std::move(state));
+  }
+
+  // Differential repair carries workspaces *through* the reshard: each
+  // rebuilt shard adopts the not-yet-taken old workspace whose last served
+  // cover overlaps its new cover the most (greedy in shard order, lowest
+  // old index on ties, no adoption without overlap).  Any match quality is
+  // exact — the adopted graph is a superset of whatever the new members
+  // need retrieved, and RunPlan's Covers() check still rebuilds when the
+  // new cover escapes the adopted domain.  Without the repair gate old
+  // workspaces are dropped as before (the PR 8 reshard semantics).
+  if (opts_.query.use_tick_warm_start && opts_.query.use_differential_repair) {
+    for (BatchPlan::ShardState& state : plan->states_) {
+      const geom::Rect cover = ShardCover(segments, state.members);
+      size_t best = old_states.size();
+      double best_overlap = 0.0;
+      for (size_t i = 0; i < old_states.size(); ++i) {
+        if (old_states[i].workspace == nullptr) continue;
+        const double overlap = cover.OverlapArea(old_states[i].last_cover);
+        if (overlap > best_overlap) {
+          best_overlap = overlap;
+          best = i;
+        }
+      }
+      if (best == old_states.size()) continue;
+      state.workspace = std::move(old_states[best].workspace);
+      state.last_cover = old_states[best].last_cover;
+      state.reuse_hits_mark = old_states[best].reuse_hits_mark;
+      state.obstacles_mark = old_states[best].obstacles_mark;
+      state.harvest_mark = old_states[best].harvest_mark;
+      ++plan->adopted_pending_;
+    }
   }
 }
 
@@ -145,6 +177,8 @@ BatchResult BatchRunner::RunPlan(const std::vector<BatchQuery>& queries,
     Reshard(queries, plan, store);
   }
   result.stats.shard_count = plan->states_.size();
+  result.stats.workspaces_adopted = plan->adopted_pending_;
+  plan->adopted_pending_ = 0;
 
   std::vector<geom::Segment> segments;
   segments.reserve(queries.size());
@@ -169,6 +203,10 @@ BatchResult BatchRunner::RunPlan(const std::vector<BatchQuery>& queries,
           : kSpacingFloorFactor *
                 ObstacleSpacing(obstacles_ != nullptr ? *obstacles_ : *data_);
   const bool warm_gate = opts_.query.use_tick_warm_start;
+  // Shard workspaces built under the repair gate run deferred adjacency
+  // (patch-only) and keep a live settlement log; per-query fallback graphs
+  // stay eager — a short-lived fresh graph gains nothing from deferral.
+  const bool repair_gate = warm_gate && opts_.query.use_differential_repair;
 
   Mutex stats_mu;
   auto run_shard = [&](BatchPlan::ShardState& state) {
@@ -193,7 +231,7 @@ BatchResult BatchRunner::RunPlan(const std::vector<BatchQuery>& queries,
                            state.harvest_mark);
           }
           state.workspace = std::make_unique<core::QueryWorkspace>(
-              data_, obstacles_, cover);
+              data_, obstacles_, cover, repair_gate);
           state.reuse_hits_mark = 0;
           state.obstacles_mark = 0;
           state.harvest_mark = 0;
@@ -202,6 +240,7 @@ BatchResult BatchRunner::RunPlan(const std::vector<BatchQuery>& queries,
                                          ExpandedBy(cover, extent_floor));
           }
         }
+        state.last_cover = cover;
       }
     }
     if (!share && state.workspace != nullptr) {
@@ -239,7 +278,7 @@ BatchResult BatchRunner::RunPlan(const std::vector<BatchQuery>& queries,
                        : core::ConnQuery1T(*data_, q.segment, opts_.query, ws);
         out_stats = &out.conn->stats;
       } else {
-        const core::TickWarmStart warm{q.prior};
+        const core::TickWarmStart warm{q.prior, q.client_tag};
         out.coknn = obstacles_ != nullptr
                         ? core::CoknnQueryTick(*data_, *obstacles_, q.segment,
                                                q.k, warm, opts_.query, ws)

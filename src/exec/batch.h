@@ -55,6 +55,11 @@ struct BatchQuery {
   /// core::CoknnQueryTick under ConnOptions::use_tick_warm_start.
   const core::CoknnResult* prior = nullptr;
 
+  /// Stable client identity for the differential-repair path (-1 =
+  /// anonymous): tags the coverage capsules this query publishes so
+  /// QueryStats::frontier_shares can tell cross-client reuse apart.
+  int64_t client_tag = -1;
+
   static BatchQuery Conn(const geom::Segment& q) {
     return BatchQuery{Kind::kConn, q, 1};
   }
@@ -62,8 +67,9 @@ struct BatchQuery {
     return BatchQuery{Kind::kCoknn, q, k};
   }
   static BatchQuery CoknnTick(const geom::Segment& q, size_t k,
-                              const core::CoknnResult* prior) {
-    return BatchQuery{Kind::kCoknn, q, k, prior};
+                              const core::CoknnResult* prior,
+                              int64_t client_tag = -1) {
+    return BatchQuery{Kind::kCoknn, q, k, prior, client_tag};
   }
 };
 
@@ -129,6 +135,12 @@ struct BatchStats {
   /// RunPlan only: obstacles pre-seeded into fresh graphs from the
   /// cross-shard ObstacleStore (also in per_query_totals).
   uint64_t cross_shard_store_hits = 0;
+
+  /// RunPlan only, differential repair: workspaces a Reshard moved onto
+  /// the best-overlapping rebuilt shard instead of dropping — the repair
+  /// loop's defense against the periodic reshard discarding its carried
+  /// graphs (exact by the superset argument regardless of match quality).
+  size_t workspaces_adopted = 0;
 
   /// Batch-level pager deltas (single-threaded snapshots around the run).
   uint64_t data_page_faults = 0;
@@ -198,6 +210,11 @@ class BatchPlan {
     /// locality guard declines).
     std::unique_ptr<core::QueryWorkspace> workspace;
 
+    /// Cover rectangle the carried workspace last served (empty until the
+    /// shard first shares).  Reshard's adoption pass matches rebuilt
+    /// shards to old workspaces by overlap with this.
+    geom::Rect last_cover = geom::Rect::Empty();
+
     // Watermarks making cross-run accounting and store harvesting
     // incremental: a carried workspace's counters accumulate for its
     // lifetime, but each run must report only its own growth.
@@ -208,6 +225,10 @@ class BatchPlan {
 
   std::vector<ShardState> states_;
   size_t query_count_ = 0;
+
+  /// Workspaces the last Reshard adopted onto rebuilt shards; folded into
+  /// BatchStats::workspaces_adopted by the next RunPlan.
+  size_t adopted_pending_ = 0;
 };
 
 /// Executes batches of CONN/COkNN queries against one tree configuration.

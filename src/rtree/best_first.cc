@@ -22,10 +22,6 @@ constexpr size_t kPendingHintScan = 12;
 // terminates early (Lemma 2 / Lemma 3 bounds) wastes little staging.
 constexpr size_t kPendingNodeHintCap = 4;
 
-// At most this many sibling leaf pages staged per expanded level-1 node,
-// nearest (by mindist to the query) first.
-constexpr size_t kLeafSiblingHintCap = 8;
-
 }  // namespace
 
 BestFirstIterator::BestFirstIterator(const RStarTree& tree,
@@ -92,8 +88,12 @@ void BestFirstIterator::EnsureTopIsObject() {
       }
     }
     if (collect_leaves && !leaf_children.empty()) {
-      const size_t take =
-          std::min(leaf_children.size(), kLeafSiblingHintCap);
+      // Sibling leaf pages staged per expanded level-1 node, nearest (by
+      // mindist to the query) first, clamped by the pager's autotuned
+      // window (pool_tuning.h): workloads whose staged siblings keep
+      // getting evicted untouched earn a narrower window.
+      const size_t take = std::min(leaf_children.size(),
+                                   tree_.pager().effective_hint_depth());
       std::partial_sort(leaf_children.begin(), leaf_children.begin() + take,
                         leaf_children.end());
       hint_scratch_.clear();

@@ -9,21 +9,20 @@ namespace conn {
 namespace rtree {
 namespace {
 
-// At most this many sibling leaf pages staged per expanded level-1 node
-// (matches the best-first descent's cap).
-constexpr size_t kLeafSiblingHintCap = 8;
-
 // Async pipeline only: stage the leaf children of a just-expanded level-1
 // node so the pairs pushed onto the heap find their pages resident when
 // popped.  Entry order is STR order — siblings are contiguous, so the I/O
-// worker resolves the batch as one ascending sweep.
+// worker resolves the batch as one ascending sweep.  The batch is clamped
+// by the pager's autotuned staging window (matches the best-first
+// descent's clamp; see pool_tuning.h).
 void HintLeafChildren(const RStarTree& tree, const Node& node) {
   if (node.level != 1 || !tree.PrefetchEnabled()) return;
+  const size_t cap = tree.pager().effective_hint_depth();
   std::vector<storage::PageId> ids;
-  ids.reserve(kLeafSiblingHintCap);
+  ids.reserve(cap);
   for (const NodeEntry& e : node.entries) {
     ids.push_back(e.DecodeChild());
-    if (ids.size() >= kLeafSiblingHintCap) break;
+    if (ids.size() >= cap) break;
   }
   tree.PrefetchPages(ids);
 }

@@ -19,6 +19,10 @@ void Pager::ConfigureBuffer(const BufferOptions& options) {
   // about to be rebuilt.
   miss_queue_.reset();
   pool_.Configure(options);
+  hint_depth_.store(kHintDepthCap, std::memory_order_relaxed);
+  tune_issued_mark_.store(prefetch_issued_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  tune_wasted_mark_.store(pool_.prefetch_wasted(), std::memory_order_relaxed);
   if (options.async_io && options.capacity_pages > 0) {
     miss_queue_ = std::make_unique<MissQueue>(
         options.io_threads, options.miss_queue_depth,
@@ -33,6 +37,11 @@ void Pager::ResetCounters() {
   hits_.store(0, std::memory_order_relaxed);
   prefetch_issued_.store(0, std::memory_order_relaxed);
   pool_.ResetPrefetchCounters();
+  // The autotuner restarts from the widest window with fresh marks: a
+  // measured phase should adapt to its own workload, not the warm-up's.
+  hint_depth_.store(kHintDepthCap, std::memory_order_relaxed);
+  tune_issued_mark_.store(0, std::memory_order_relaxed);
+  tune_wasted_mark_.store(0, std::memory_order_relaxed);
   if (miss_queue_ != nullptr) miss_queue_->ResetDepthStats();
 }
 
@@ -136,7 +145,36 @@ bool Pager::TryStageHint(PageId id) {
   if (pool_.Resident(id)) return false;
   if (!miss_queue_->EnqueueHint({id, nullptr})) return false;
   prefetch_issued_.fetch_add(1, std::memory_order_relaxed);
+  MaybeAdaptHintDepth();
   return true;
+}
+
+void Pager::MaybeAdaptHintDepth() {
+  const uint64_t issued = prefetch_issued_.load(std::memory_order_relaxed);
+  uint64_t mark = tune_issued_mark_.load(std::memory_order_relaxed);
+  if (issued - mark < kHintTuneWindow) return;
+  // One adapter per window: whoever advances the mark owns the decision;
+  // a losing racer's window was just closed by the winner.
+  if (!tune_issued_mark_.compare_exchange_strong(mark, issued,
+                                                 std::memory_order_relaxed)) {
+    return;
+  }
+  const uint64_t wasted = pool_.prefetch_wasted();
+  const uint64_t wasted_mark =
+      tune_wasted_mark_.exchange(wasted, std::memory_order_relaxed);
+  // Waste counters can lag hint acceptance (staging is asynchronous), so
+  // the ratio is advisory — exactly right for an advisory depth.
+  const double ratio = wasted > wasted_mark
+                           ? static_cast<double>(wasted - wasted_mark) /
+                                 static_cast<double>(issued - mark)
+                           : 0.0;
+  size_t depth = hint_depth_.load(std::memory_order_relaxed);
+  if (ratio > kHintWastedRatioShrink) {
+    depth = std::max(kHintDepthFloor, depth / 2);
+  } else if (ratio < kHintWastedRatioRecover) {
+    depth = std::min(kHintDepthCap, depth + 1);
+  }
+  hint_depth_.store(depth, std::memory_order_relaxed);
 }
 
 StatusOr<PinnedPage> Pager::ServiceMiss(PageId id) {

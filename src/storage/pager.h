@@ -53,6 +53,7 @@
 #include "storage/miss_queue.h"
 #include "storage/page_file.h"
 #include "storage/page_request.h"
+#include "storage/pool_tuning.h"
 
 namespace conn {
 namespace storage {
@@ -146,6 +147,16 @@ class Pager {
   /// Staged pages evicted before any demand touch (useless prefetch).
   uint64_t prefetch_wasted() const { return pool_.prefetch_wasted(); }
 
+  /// Current advisory width of the STR-sibling staging window, adapted
+  /// from the windowed prefetch_wasted/prefetch_issued ratio (see
+  /// pool_tuning.h): kHintDepthCap when staging is paying off, shrunk
+  /// toward kHintDepthFloor when staged pages keep getting evicted
+  /// untouched.  Readers (best-first descent, pair join) clamp their
+  /// per-expansion hint batch by this.
+  size_t effective_hint_depth() const {
+    return hint_depth_.load(std::memory_order_relaxed);
+  }
+
   /// Miss-queue depth percentiles (all zero in synchronous mode).
   MissQueue::DepthStats MissQueueDepths();
 
@@ -173,11 +184,20 @@ class Pager {
   /// duplicate, queue full, or synchronous mode).
   bool TryStageHint(PageId id);
 
+  /// Closes an adaptation window when enough hints have been accepted
+  /// since the last one, adjusting hint_depth_ from the window's wasted
+  /// ratio.  Thread-safe: one CAS winner per window adapts, losers return.
+  void MaybeAdaptHintDepth();
+
   PageFile file_;
   BufferPool pool_;
   std::atomic<uint64_t> faults_{0};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> prefetch_issued_{0};
+  std::atomic<size_t> hint_depth_{kHintDepthCap};
+  // prefetch_issued_ / prefetch_wasted values at the last window close.
+  std::atomic<uint64_t> tune_issued_mark_{0};
+  std::atomic<uint64_t> tune_wasted_mark_{0};
   // Declared after the file and pool it services: destroyed (and its
   // workers joined) first.
   std::unique_ptr<MissQueue> miss_queue_;

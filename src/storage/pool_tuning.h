@@ -45,6 +45,33 @@ inline constexpr size_t kMissQueueDepth = 64;
 /// device request (the batched-pread idiom) instead of one read per page.
 inline constexpr size_t kIoBatchPages = 8;
 
+/// Hint-depth autotuning.  The STR-sibling staging window (the leaf pages a
+/// best-first descent or pair join hints per expanded level-1 node) starts
+/// at kHintDepthCap; the pager watches prefetch_wasted / prefetch_issued
+/// over rolling windows of kHintTuneWindow accepted hints and halves the
+/// window (never below kHintDepthFloor) when the wasted ratio exceeds
+/// kHintWastedRatioShrink — a workload whose staged siblings get evicted
+/// untouched is telling us its descents terminate early (Lemma 2 / Lemma 3
+/// bounds), so staging fewer of them wastes fewer device reads and frames.
+/// When the ratio drops below kHintWastedRatioRecover the window creeps
+/// back up one page per window toward the cap.
+
+/// Widest STR-sibling staging window (pages per expanded level-1 node).
+inline constexpr size_t kHintDepthCap = 8;
+
+/// Narrowest the autotuner will shrink the staging window to; 2 keeps the
+/// hint class alive so recovery can observe fresh hit/waste evidence.
+inline constexpr size_t kHintDepthFloor = 2;
+
+/// Accepted staging hints per adaptation decision.
+inline constexpr size_t kHintTuneWindow = 64;
+
+/// Halve the window when wasted/issued over a window exceeds this.
+inline constexpr double kHintWastedRatioShrink = 0.5;
+
+/// Grow the window by one when wasted/issued falls below this.
+inline constexpr double kHintWastedRatioRecover = 0.25;
+
 }  // namespace storage
 }  // namespace conn
 

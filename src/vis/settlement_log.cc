@@ -1,0 +1,48 @@
+#include "vis/settlement_log.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "geom/distance.h"
+#include "geom/predicates.h"
+
+namespace conn {
+namespace vis {
+
+SettlementLog::SettlementLog(size_t capacity) : capacity_(capacity) {
+  CONN_CHECK_MSG(capacity >= 1, "settlement log needs at least one slot");
+  ring_.reserve(capacity);
+}
+
+void SettlementLog::Publish(const geom::Segment& source, double radius,
+                            int64_t owner) {
+  if (radius <= 0.0) return;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(Capsule{source, radius, owner});
+    return;
+  }
+  ring_[next_] = Capsule{source, radius, owner};
+  next_ = (next_ + 1) % capacity_;
+}
+
+bool SettlementLog::Covers(const geom::Segment& q, double bound,
+                           int64_t* owner_out) const {
+  for (const Capsule& c : ring_) {
+    // max over q of dist(x, c.source) is attained at an endpoint.
+    const double drift = std::max(geom::DistPointSegment(q.a, c.source),
+                                  geom::DistPointSegment(q.b, c.source));
+    if (bound + drift <= c.radius - geom::kEpsDist) {
+      if (owner_out != nullptr) *owner_out = c.owner;
+      return true;
+    }
+  }
+  return false;
+}
+
+void SettlementLog::Clear() {
+  ring_.clear();
+  next_ = 0;
+}
+
+}  // namespace vis
+}  // namespace conn

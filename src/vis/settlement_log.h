@@ -1,0 +1,90 @@
+// Per-workspace settlement log: the multi-source coverage record behind
+// cross-client frontier sharing (differential tick repair).
+//
+// Every completed incremental obstacle retrieval proves a coverage fact
+// about the graph it ran against: "every obstacle whose mindist to query
+// segment s is <= r is now present" (r is IOR's final search distance —
+// Theorem 2's search range over all of s's evaluated points).  The log
+// keeps a bounded ring of these facts as *capsules* (s, r, owner).  A
+// later retrieval against the same graph — the same client's next tick,
+// or a clustered sibling's query seeded into the same shard — asks
+// Covers(q, b): does some capsule prove that every obstacle within b of
+// segment q is already local?  If so, the obstacle stream for that wave
+// is skipped entirely; the graph already holds a superset of the wave's
+// Theorem-2 obstacle set, which is the exact same correctness argument
+// that makes shard-shared workspaces bit-identical to per-query graphs.
+//
+// The containment test is triangle inequality over segment distances: for
+// any obstacle o, mindist(o, q) <= b implies
+//   mindist(o, s) <= mindist(o, q) + max_{x in q} dist(x, s)
+//                 <= b + max(dist(q.a, s), dist(q.b, s)),
+// (distance-to-a-segment is convex, so its max over q sits at an
+// endpoint).  Covers therefore requires b + that endpoint max <= r, with
+// a kEpsDist safety margin against floating-point rounding in the
+// distance evaluations.
+//
+// Capsules stay valid for the graph's whole lifetime: obstacles are only
+// ever added, so "is present" is monotone.  The log must be cleared (or
+// discarded) with the graph it describes.
+
+#ifndef CONN_VIS_SETTLEMENT_LOG_H_
+#define CONN_VIS_SETTLEMENT_LOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geom/segment.h"
+
+namespace conn {
+namespace vis {
+
+/// Bounded ring of coverage capsules over one graph's obstacle set.
+class SettlementLog {
+ public:
+  /// One proven coverage fact: every obstacle within \p radius of
+  /// \p source is present in the graph this log describes.  \p owner tags
+  /// the client whose retrieval proved it (-1 = untagged), so consumers
+  /// can distinguish self-reuse from cross-client frontier shares.
+  struct Capsule {
+    geom::Segment source;
+    double radius = 0.0;
+    int64_t owner = -1;
+  };
+
+  explicit SettlementLog(size_t capacity = kDefaultCapacity);
+
+  /// Records a proven capsule.  Zero-radius facts prove nothing and are
+  /// dropped; otherwise the oldest capsule is evicted once the ring is
+  /// full (coverage only ever degrades to "stream again", never to an
+  /// unsound skip).
+  void Publish(const geom::Segment& source, double radius, int64_t owner);
+
+  /// True iff some capsule proves that every obstacle with
+  /// mindist(o, q) <= bound is already in the graph.  On success,
+  /// \p owner_out (optional) receives the proving capsule's owner tag.
+  bool Covers(const geom::Segment& q, double bound,
+              int64_t* owner_out = nullptr) const;
+
+  /// Drops every capsule (the described graph was rebuilt).
+  void Clear();
+
+  size_t size() const { return ring_.size(); }
+  size_t capacity() const { return capacity_; }
+  const std::vector<Capsule>& capsules() const { return ring_; }
+
+  /// Ring size: big enough for every member of a batch shard plus the
+  /// pre-seed sweep to coexist within one tick wave, small enough that
+  /// Covers stays a trivial linear probe.
+  static constexpr size_t kDefaultCapacity = 32;
+
+ private:
+  std::vector<Capsule> ring_;
+  size_t next_ = 0;  // eviction cursor once the ring is full
+  size_t capacity_;
+};
+
+}  // namespace vis
+}  // namespace conn
+
+#endif  // CONN_VIS_SETTLEMENT_LOG_H_

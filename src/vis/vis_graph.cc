@@ -21,6 +21,7 @@ VertexId VisGraph::AddVertexInternal(geom::Vec2 p) {
     adj_computed_[id] = false;
     corner_[id] = CornerInfo{};
     alive_[id] = true;
+    adj_obstacle_mark_[id] = 0;
     vertex_grid_.InsertPoint(id, p);
     return id;
   }
@@ -30,8 +31,15 @@ VertexId VisGraph::AddVertexInternal(geom::Vec2 p) {
   adj_computed_.push_back(false);
   corner_.emplace_back();
   alive_.push_back(true);
+  adj_obstacle_mark_.push_back(0);
   vertex_grid_.InsertPoint(id, p);
   return id;
+}
+
+void VisGraph::SetDeferredAdjacency(bool deferred) {
+  CONN_CHECK_MSG(obstacles_.size() == 0,
+                 "adjacency mode must be chosen before the first obstacle");
+  deferred_ = deferred;
 }
 
 VertexId VisGraph::AddFixedVertex(geom::Vec2 p) {
@@ -54,17 +62,21 @@ void VisGraph::RemoveFixedVertices(const std::vector<VertexId>& ids) {
     CONN_CHECK_MSG(!corner_[v].is_corner,
                    "obstacle corners are persistent; only fixed vertices "
                    "can be removed");
-    if (adj_computed_[v]) {
+    if (adj_computed_[v] && !deferred_) {
       // Symmetry invariant: the computed lists holding an edge to v are
-      // exactly v's own neighbors with computed lists.
+      // exactly v's own neighbors with computed lists.  (Deferred mode
+      // cannot use this fast path: a stale computed list may retain an
+      // edge to v that a patch has already pruned from v's own list, and
+      // the full scan below is the only complete candidate set.)
       for (const VisEdge& e : adj_[v]) {
         if (!adj_computed_[e.to]) continue;
         std::erase_if(adj_[e.to],
                       [v](const VisEdge& r) { return r.to == v; });
       }
     } else {
-      // Fallback (not reached by the eager-insertion paths above): scan
-      // every computed list.
+      // Complete candidate set: scan every computed list.  In deferred
+      // mode this is the only removal that leaves no stale edge behind —
+      // a dangling reference to a recycled slot would corrupt later scans.
       for (VertexId u = 0; u < vertices_.size(); ++u) {
         if (!adj_computed_[u]) continue;
         std::erase_if(adj_[u], [v](const VisEdge& r) { return r.to == v; });
@@ -87,35 +99,46 @@ bool VisGraph::AddObstacle(const geom::Rect& rect, rtree::ObjectId id) {
   obstacles_.Add(rect, id);
   ++epoch_;  // visible-region caches must revalidate
 
-  // (a) Prune cached edges the new rectangle now blocks.  Only edges whose
-  // bounding box meets the rectangle can be affected (cheap pre-filter).
-  for (VertexId v = 0; v < vertices_.size(); ++v) {
-    if (!adj_computed_[v]) continue;
-    const geom::Vec2 vpos = vertices_[v];
-    std::erase_if(adj_[v], [&](const VisEdge& e) {
-      const geom::Vec2 upos = vertices_[e.to];
-      if (!geom::Rect::FromCorners(vpos, upos).Intersects(rect)) return false;
-      if (stats_ != nullptr) ++stats_->visibility_tests;
-      return geom::SegmentCrossesInterior(geom::Segment(vpos, upos), rect);
-    });
+  if (!deferred_) {
+    // (a) Prune cached edges the new rectangle now blocks.  Only edges
+    // whose bounding box meets the rectangle can be affected (cheap
+    // pre-filter).
+    for (VertexId v = 0; v < vertices_.size(); ++v) {
+      if (!adj_computed_[v]) continue;
+      const geom::Vec2 vpos = vertices_[v];
+      std::erase_if(adj_[v], [&](const VisEdge& e) {
+        const geom::Vec2 upos = vertices_[e.to];
+        if (!geom::Rect::FromCorners(vpos, upos).Intersects(rect)) {
+          return false;
+        }
+        if (stats_ != nullptr) ++stats_->visibility_tests;
+        return geom::SegmentCrossesInterior(geom::Segment(vpos, upos), rect);
+      });
+    }
   }
 
-  // (b) Add the four corners with eagerly computed adjacency, patching the
-  // reciprocal edges into already-computed lists so every cached list stays
-  // complete with respect to the grown graph.
+  // (b) Add the four corners.  Eager mode computes their adjacency now and
+  // patches the reciprocal edges into already-computed lists so every
+  // cached list stays complete with respect to the grown graph; deferred
+  // mode leaves them lazy — Neighbors() brings any touched list current
+  // against the recorded rectangle and corners instead.
   // Corners() yields (lo,lo), (hi,lo), (hi,hi), (lo,hi); inward axis signs
   // point from each corner into the rectangle.
   static constexpr geom::Vec2 kInward[4] = {
       {+1.0, +1.0}, {-1.0, +1.0}, {-1.0, -1.0}, {+1.0, -1.0}};
   const auto corners = rect.Corners();
+  std::array<VertexId, 4> corner_ids;
   for (int ci = 0; ci < 4; ++ci) {
     const VertexId c = AddVertexInternal(corners[ci]);
     corner_[c] = CornerInfo{true, kInward[ci]};
+    corner_ids[ci] = c;
+    if (deferred_) continue;
     RecomputeAdjacency(c);
     for (const VisEdge& e : adj_[c]) {
       if (adj_computed_[e.to]) adj_[e.to].push_back({c, e.length});
     }
   }
+  obstacle_corners_.push_back(corner_ids);
 
   if (stats_ != nullptr) {
     ++stats_->obstacles_evaluated;
@@ -147,10 +170,50 @@ void VisGraph::RecomputeAdjacency(VertexId v) {
     if (Visible(pos, other)) edges.push_back({u, len});
   }
   adj_computed_[v] = true;
+  adj_obstacle_mark_[v] = static_cast<uint32_t>(obstacles_.size());
+}
+
+void VisGraph::PatchAdjacency(VertexId v) {
+  const geom::Vec2 pos = vertices_[v];
+  const uint32_t from = adj_obstacle_mark_[v];
+  const uint32_t to = static_cast<uint32_t>(obstacles_.size());
+  // (a) Prune the cached edges the obstacles inserted since the watermark
+  // now block — the exact erase the eager path would have run at each
+  // insertion (same bbox pre-filter, same interior-crossing predicate).
+  for (uint32_t k = from; k < to; ++k) {
+    const geom::Rect& rect = obstacles_.rect(k);
+    std::erase_if(adj_[v], [&](const VisEdge& e) {
+      const geom::Vec2 upos = vertices_[e.to];
+      if (!geom::Rect::FromCorners(pos, upos).Intersects(rect)) return false;
+      if (stats_ != nullptr) ++stats_->visibility_tests;
+      return geom::SegmentCrossesInterior(geom::Segment(pos, upos), rect);
+    });
+  }
+  // (b) Append edges to the new obstacles' corners where visible.  Tested
+  // against the *full* current obstacle set, matching what eager insertion
+  // (corner sweep + subsequent prunes) would have left in place.
+  for (uint32_t k = from; k < to; ++k) {
+    for (const VertexId c : obstacle_corners_[k]) {
+      if (c == v || !alive_[c]) continue;
+      const geom::Vec2 other = vertices_[c];
+      const double len = geom::Dist(pos, other);
+      if (len <= geom::kEpsDist) continue;  // coincident vertices: skip
+      if (DirectionEntersCorner(v, other - pos) ||
+          DirectionEntersCorner(c, pos - other)) {
+        continue;
+      }
+      if (Visible(pos, other)) adj_[v].push_back({c, len});
+    }
+  }
+  adj_obstacle_mark_[v] = to;
 }
 
 const std::vector<VisEdge>& VisGraph::Neighbors(VertexId v) {
-  if (!adj_computed_[v]) RecomputeAdjacency(v);
+  if (!adj_computed_[v]) {
+    RecomputeAdjacency(v);
+  } else if (deferred_ && adj_obstacle_mark_[v] < obstacles_.size()) {
+    PatchAdjacency(v);
+  }
   return adj_[v];
 }
 

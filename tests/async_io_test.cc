@@ -209,6 +209,66 @@ TEST(AsyncPipelineTest, EvictedUntouchedStagesCountAsWasted) {
   EXPECT_EQ(pager.prefetch_hits(), 0u);
 }
 
+TEST(AsyncPipelineTest, HintDepthShrinksUnderWastedStaging) {
+  Pager pager;
+  ConfigureAsync(&pager, /*capacity=*/8, kMissQueueDepth, /*io_threads=*/1);
+  ASSERT_EQ(pager.effective_hint_depth(), kHintDepthCap);
+
+  // Rounds of staging that is never demanded: hint four pages from the
+  // upper region, wait until they land, then churn them out with demand
+  // reads of the lower region.  Every window's wasted ratio is ~1, so the
+  // autotuner must walk the depth down to the floor.
+  PageId hint_cursor = 64;
+  while (pager.prefetch_issued() < 3 * kHintTuneWindow) {
+    std::vector<PageId> hinted;
+    for (int i = 0; i < 4; ++i) {
+      hinted.push_back(64 + (hint_cursor++ - 64) % (kTestPages - 64));
+    }
+    pager.Prefetch(std::span<const PageId>(hinted));
+    ASSERT_TRUE(WaitUntil([&] {
+      for (const PageId id : hinted) {
+        if (!pager.buffer_pool().Resident(id)) return false;
+      }
+      return true;
+    }));
+    for (PageId id = 0; id < 64; ++id) {
+      ASSERT_TRUE(pager.Fetch(id).ok());
+    }
+  }
+  EXPECT_EQ(pager.effective_hint_depth(), kHintDepthFloor);
+
+  // A measured phase starts over from the widest window.
+  pager.ResetCounters();
+  EXPECT_EQ(pager.effective_hint_depth(), kHintDepthCap);
+}
+
+TEST(AsyncPipelineTest, HintDepthHoldsAtCapWhenStagingPaysOff) {
+  Pager pager;
+  ConfigureAsync(&pager, /*capacity=*/16, kMissQueueDepth, /*io_threads=*/1);
+
+  // Every staged page is demand-touched before eviction: zero waste, so
+  // the depth must never leave the cap.
+  PageId cursor = 0;
+  while (pager.prefetch_issued() < 2 * kHintTuneWindow) {
+    std::vector<PageId> hinted;
+    for (int i = 0; i < 4; ++i) {
+      hinted.push_back(cursor++ % kTestPages);
+    }
+    pager.Prefetch(std::span<const PageId>(hinted));
+    ASSERT_TRUE(WaitUntil([&] {
+      for (const PageId id : hinted) {
+        if (!pager.buffer_pool().Resident(id)) return false;
+      }
+      return true;
+    }));
+    for (const PageId id : hinted) {
+      ASSERT_TRUE(pager.Fetch(id).ok());
+    }
+  }
+  EXPECT_EQ(pager.effective_hint_depth(), kHintDepthCap);
+  EXPECT_EQ(pager.prefetch_wasted(), 0u);
+}
+
 TEST(AsyncPipelineTest, DepthStatsTrackQueueOccupancy) {
   Pager pager;
   ConfigureAsync(&pager, /*capacity=*/32, kMissQueueDepth, /*io_threads=*/1);
